@@ -1,0 +1,66 @@
+"""Train LEAPS on a cached golden dataset and scan its malicious log.
+
+Run from the repo root:
+
+    PYTHONPATH=src python examples/quickstart.py [dataset-dir]
+
+Defaults to the notepad++ reverse-TCP online-injection dataset under
+benchmarks/.data/.  (The dataset *generator* — repro.datasets — is not
+built yet; this example consumes the pre-generated cache.)
+"""
+
+import sys
+from pathlib import Path
+
+from repro import LeapsConfig, LeapsDetector
+from repro.etw.parser import RawLogParser, serialize_events
+
+DEFAULT_DATASET = (
+    Path(__file__).resolve().parent.parent
+    / "benchmarks"
+    / ".data"
+    / "notepad++_reverse_tcp_online-s0-733c79dbeaba"
+)
+
+
+def main() -> int:
+    dataset = Path(sys.argv[1]) if len(sys.argv) > 1 else DEFAULT_DATASET
+    if not dataset.is_dir():
+        print(f"dataset not found: {dataset}", file=sys.stderr)
+        return 1
+
+    benign = (dataset / "benign.log").read_text().splitlines()
+    mixed = (dataset / "mixed.log").read_text().splitlines()
+    malicious = (dataset / "malicious.log").read_text().splitlines()
+
+    # 1. Split the benign log 50/50: first half trains, second half
+    #    stands in for clean production traffic.
+    events = RawLogParser().parse_lines(benign)
+    half = len(events) // 2
+    benign_train = serialize_events(events[:half])
+    benign_prod = serialize_events(events[half:])
+
+    # 2. Train: benign log of the clean app + mixed log of the
+    #    compromised app.  Algorithm 1 infers both CFGs, Algorithm 2
+    #    weights the mixed events, the WSVM learns the boundary.
+    detector = LeapsDetector(
+        LeapsConfig(stride=2, cv_folds=3, lam_grid=(1.0, 10.0),
+                    sigma2_grid=(10.0, 60.0), seed=7)
+    )
+    report = detector.train_from_logs(benign_train, mixed)
+    print(f"dataset:            {dataset.name}")
+    print(f"benign CFG:         {detector.benign_cfg}")
+    print(f"mixed  CFG:         {detector.mixed_cfg}")
+    print(f"mean mixed weight:  {report.mean_mixed_weight:.3f}")
+    print(f"chosen (λ, σ²):     ({report.grid.lam}, {report.grid.sigma2})")
+
+    # 3. Scan production logs.
+    for label, lines in (("clean traffic", benign_prod), ("malicious log", malicious)):
+        detections = detector.scan_log(lines)
+        flagged, total = detector.alert_summary(detections)
+        print(f"{label}: {flagged}/{total} windows flagged")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,8 @@
+"""Shim for offline machines without the ``wheel`` package, where
+``pip install -e .`` cannot build the editable wheel.  All metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,14 @@
+"""LEAPS reproduction — statistical learning guided by program analysis.
+
+Public entry points::
+
+    from repro import LeapsConfig, LeapsDetector
+"""
+
+from repro.core.config import LeapsConfig
+from repro.core.detector import LeapsDetector, WindowDetection
+from repro.core.pipeline import TrainingReport
+
+__version__ = "0.1.0"
+
+__all__ = ["LeapsConfig", "LeapsDetector", "WindowDetection", "TrainingReport", "__version__"]

@@ -1,0 +1,20 @@
+"""The paper's contribution: Algorithms 1–2, pipeline, detector."""
+
+from repro.core.cfg_inference import CFG, CFGInferencer, implicit_chain
+from repro.core.config import LeapsConfig
+from repro.core.detector import LeapsDetector, WindowDetection
+from repro.core.pipeline import LeapsPipeline, NotTrainedError, TrainingReport
+from repro.core.weights import WeightAssessor
+
+__all__ = [
+    "CFG",
+    "CFGInferencer",
+    "implicit_chain",
+    "LeapsConfig",
+    "LeapsDetector",
+    "WindowDetection",
+    "LeapsPipeline",
+    "NotTrainedError",
+    "TrainingReport",
+    "WeightAssessor",
+]

@@ -1,0 +1,154 @@
+"""Algorithm 1 — CFG inference from adjacent app stack traces.
+
+LEAPS never inspects binaries: the control flow graph of the monitored
+application is inferred purely from the app-space stack walks attached
+to consecutive system events.
+
+Two kinds of path are extracted (paper Fig. 3):
+
+* **explicit** paths — the caller→callee edges visible *inside* a single
+  stack walk (frame i called frame i+1);
+* **implicit** paths — the flow *between* two adjacent events: control
+  returned from the first walk's innermost frame up to the lowest common
+  ancestor of the two walks, then called down to the second walk's
+  innermost frame.
+
+Nodes are ``(module, function)`` pairs; addresses are deliberately not
+part of node identity, since payload rebuilds re-randomize them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Set, Tuple
+
+from repro.etw.events import FrameNode
+
+EXPLICIT = "explicit"
+IMPLICIT = "implicit"
+
+Edge = Tuple[FrameNode, FrameNode]
+
+
+class CFG:
+    """A directed control flow graph over ``(module, function)`` nodes.
+
+    Edges remember which extraction produced them (explicit, implicit,
+    or both) — Figure 4 renders them differently and the ablations need
+    to distinguish them.
+    """
+
+    def __init__(self):
+        self._succ: Dict[FrameNode, Set[FrameNode]] = {}
+        self._pred: Dict[FrameNode, Set[FrameNode]] = {}
+        self._kinds: Dict[Edge, Set[str]] = {}
+
+    # -- construction -------------------------------------------------
+    def add_node(self, node: FrameNode) -> None:
+        self._succ.setdefault(node, set())
+        self._pred.setdefault(node, set())
+
+    def add_edge(self, src: FrameNode, dst: FrameNode, kind: str = EXPLICIT) -> None:
+        if kind not in (EXPLICIT, IMPLICIT):
+            raise ValueError(f"unknown edge kind {kind!r}")
+        self.add_node(src)
+        self.add_node(dst)
+        self._succ[src].add(dst)
+        self._pred[dst].add(src)
+        self._kinds.setdefault((src, dst), set()).add(kind)
+
+    def merge(self, other: "CFG") -> None:
+        for (src, dst), kinds in other._kinds.items():
+            for kind in kinds:
+                self.add_edge(src, dst, kind)
+        for node in other.nodes():
+            self.add_node(node)
+
+    # -- queries ------------------------------------------------------
+    def has_node(self, node: FrameNode) -> bool:
+        return node in self._succ
+
+    def has_edge(self, src: FrameNode, dst: FrameNode) -> bool:
+        return dst in self._succ.get(src, ())
+
+    def edge_kinds(self, src: FrameNode, dst: FrameNode) -> FrozenSet[str]:
+        return frozenset(self._kinds.get((src, dst), ()))
+
+    def successors(self, node: FrameNode) -> FrozenSet[FrameNode]:
+        return frozenset(self._succ.get(node, ()))
+
+    def predecessors(self, node: FrameNode) -> FrozenSet[FrameNode]:
+        return frozenset(self._pred.get(node, ()))
+
+    def nodes(self) -> Iterator[FrameNode]:
+        return iter(self._succ)
+
+    def edges(self) -> Iterator[Edge]:
+        return iter(self._kinds)
+
+    @property
+    def node_count(self) -> int:
+        return len(self._succ)
+
+    @property
+    def edge_count(self) -> int:
+        return len(self._kinds)
+
+    def __contains__(self, node: FrameNode) -> bool:
+        return self.has_node(node)
+
+    def __repr__(self) -> str:
+        return f"CFG(nodes={self.node_count}, edges={self.edge_count})"
+
+
+def common_prefix_length(first: Sequence[FrameNode], second: Sequence[FrameNode]) -> int:
+    limit = min(len(first), len(second))
+    for position in range(limit):
+        if first[position] != second[position]:
+            return position
+    return limit
+
+
+def implicit_chain(
+    prev: Sequence[FrameNode], curr: Sequence[FrameNode]
+) -> List[FrameNode]:
+    """The inferred node sequence control traversed between two adjacent
+    stack walks: returns from ``prev``'s innermost frame up to the lowest
+    common ancestor, then calls down to ``curr``'s innermost frame."""
+    split = common_prefix_length(prev, curr)
+    chain: List[FrameNode] = list(reversed(prev[split:]))
+    if split > 0:
+        chain.append(prev[split - 1])
+    chain.extend(curr[split:])
+    return chain
+
+
+class CFGInferencer:
+    """Algorithm 1: build a :class:`CFG` from a sequence of app paths."""
+
+    def infer(self, app_paths: Iterable[Sequence[FrameNode]]) -> CFG:
+        cfg = CFG()
+        prev: Sequence[FrameNode] = ()
+        for path in app_paths:
+            self.add_explicit_path(cfg, path)
+            if prev and path:
+                self.add_implicit_path(cfg, prev, path)
+            if path:
+                prev = path
+        return cfg
+
+    @staticmethod
+    def add_explicit_path(cfg: CFG, path: Sequence[FrameNode]) -> None:
+        for node in path:
+            cfg.add_node(node)
+        for src, dst in zip(path, path[1:]):
+            if src != dst:
+                cfg.add_edge(src, dst, EXPLICIT)
+
+    @staticmethod
+    def add_implicit_path(
+        cfg: CFG, prev: Sequence[FrameNode], curr: Sequence[FrameNode]
+    ) -> None:
+        chain = implicit_chain(prev, curr)
+        for src, dst in zip(chain, chain[1:]):
+            if src != dst:
+                cfg.add_edge(src, dst, IMPLICIT)

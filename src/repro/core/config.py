@@ -1,0 +1,63 @@
+"""LEAPS pipeline configuration.
+
+Every stochastic choice in the pipeline (CV fold assignment, training
+subsampling, SMO tie-breaks) flows from :attr:`LeapsConfig.seed` via
+explicit ``numpy.random.Generator`` instances — no global RNG state
+(DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass
+class LeapsConfig:
+    # -- window coalescing (paper: 10 events × 3 dims = 30-dim samples)
+    window_events: int = 10
+    stride: int = 5
+
+    # -- weighting
+    #: use CFG-guided per-sample weights (False = plain-SVM baseline)
+    weighted: bool = True
+    #: per-window aggregation of event weights: "mean" or "max"
+    window_weight_agg: str = "mean"
+
+    # -- learning / model selection
+    lam_grid: Tuple[float, ...] = (1.0, 10.0)
+    sigma2_grid: Tuple[float, ...] = (10.0, 60.0)
+    #: < 2 disables CV and uses the first grid point
+    cv_folds: int = 3
+    svm_tol: float = 1e-3
+    svm_max_passes: int = 5
+    svm_max_sweeps: int = 200
+
+    # -- data selection (the paper samples its training windows)
+    #: cap on training windows; 0 disables subsampling
+    max_train_windows: int = 600
+
+    # -- determinism
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.window_events < 1:
+            raise ValueError("window_events must be >= 1")
+        if self.stride < 1:
+            raise ValueError("stride must be >= 1")
+        if self.window_weight_agg not in ("mean", "max"):
+            raise ValueError("window_weight_agg must be 'mean' or 'max'")
+        if not self.lam_grid or not self.sigma2_grid:
+            raise ValueError("lam_grid and sigma2_grid must be non-empty")
+        if self.max_train_windows < 0:
+            raise ValueError("max_train_windows must be >= 0")
+
+    @property
+    def dims(self) -> int:
+        return 3 * self.window_events
+
+    def rng(self) -> np.random.Generator:
+        """A fresh generator derived from the config seed."""
+        return np.random.default_rng(self.seed)

@@ -1,0 +1,78 @@
+"""The public LEAPS API: train on raw logs, scan raw logs.
+
+>>> detector = LeapsDetector(LeapsConfig(stride=2))
+>>> detector.train_from_logs(benign_lines, mixed_lines)
+>>> detections = detector.scan_log(production_lines)
+>>> flagged, total = detector.alert_summary(detections)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.cfg_inference import CFG
+from repro.core.config import LeapsConfig
+from repro.core.pipeline import LeapsPipeline, TrainingReport
+
+
+@dataclass(frozen=True)
+class WindowDetection:
+    """Verdict for one coalesced event window of a scanned log."""
+
+    index: int
+    start_eid: int
+    end_eid: int
+    #: SVM decision value; negative means the malicious side
+    score: float
+    malicious: bool
+
+
+class LeapsDetector:
+    def __init__(self, config: Optional[LeapsConfig] = None):
+        self.config = config or LeapsConfig()
+        self.pipeline = LeapsPipeline(self.config)
+
+    # -- training ------------------------------------------------------
+    def train_from_logs(
+        self, benign_lines: Iterable[str], mixed_lines: Iterable[str]
+    ) -> TrainingReport:
+        """Train from the benign log of the clean application and the
+        mixed log of the compromised application."""
+        return self.pipeline.train(benign_lines, mixed_lines)
+
+    @property
+    def trained(self) -> bool:
+        return self.pipeline.model is not None
+
+    @property
+    def benign_cfg(self) -> Optional[CFG]:
+        return self.pipeline.benign_cfg
+
+    @property
+    def mixed_cfg(self) -> Optional[CFG]:
+        return self.pipeline.mixed_cfg
+
+    @property
+    def report(self) -> Optional[TrainingReport]:
+        return self.pipeline.report
+
+    # -- scanning ------------------------------------------------------
+    def scan_log(self, lines: Iterable[str]) -> List[WindowDetection]:
+        windows, scores = self.pipeline.score_log(lines)
+        return [
+            WindowDetection(
+                index=window.start_index,
+                start_eid=window.start_eid,
+                end_eid=window.end_eid,
+                score=float(score),
+                malicious=bool(score < 0.0),
+            )
+            for window, score in zip(windows, scores)
+        ]
+
+    @staticmethod
+    def alert_summary(detections: Sequence[WindowDetection]) -> Tuple[int, int]:
+        """(flagged windows, total windows) for a scan result."""
+        flagged = sum(1 for detection in detections if detection.malicious)
+        return flagged, len(detections)

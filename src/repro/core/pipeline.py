@@ -1,0 +1,184 @@
+"""End-to-end LEAPS training and scanning phases (paper Fig. 1).
+
+Training:  parse benign + mixed raw logs → partition stacks → infer the
+benign and mixed CFGs (Algorithm 1) → weight every mixed event against
+the benign CFG (Algorithm 2) → featurize (3-tuples), coalesce into
+30-dim windows, standardize → CV grid search → train the Weighted SVM
+with ``0 ≤ αᵢ ≤ λ·cᵢ``.
+
+Scanning:  featurize a production log with the *training* vocabularies
+and score each window; negative decision values are malicious windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.cfg_inference import CFG, CFGInferencer
+from repro.core.config import LeapsConfig
+from repro.core.weights import WeightAssessor
+from repro.etw.events import EventRecord
+from repro.etw.parser import RawLogParser
+from repro.etw.stack_partition import StackPartitioner
+from repro.learning.cross_validation import GridResult, grid_search_wsvm
+from repro.learning.kernels import gaussian_kernel
+from repro.learning.scaling import Standardizer
+from repro.learning.wsvm import WeightedSVM
+from repro.preprocessing.features import EventFeaturizer
+from repro.preprocessing.windows import Window, WindowCoalescer
+
+
+@dataclass(frozen=True)
+class TrainingReport:
+    """What the training phase saw and chose."""
+
+    n_benign_events: int
+    n_mixed_events: int
+    n_benign_windows: int
+    n_mixed_windows: int
+    n_train_windows: int
+    mean_mixed_weight: float
+    grid: GridResult
+
+
+class NotTrainedError(RuntimeError):
+    pass
+
+
+class LeapsPipeline:
+    """Stateful trainer/scanner shared by the public detector API."""
+
+    def __init__(self, config: Optional[LeapsConfig] = None):
+        self.config = config or LeapsConfig()
+        self.parser = RawLogParser()
+        self.partitioner = StackPartitioner()
+        self.inferencer = CFGInferencer()
+        self.coalescer = WindowCoalescer(
+            window_events=self.config.window_events, stride=self.config.stride
+        )
+        self.benign_cfg: Optional[CFG] = None
+        self.mixed_cfg: Optional[CFG] = None
+        self.featurizer: Optional[EventFeaturizer] = None
+        self.standardizer: Optional[Standardizer] = None
+        self.model: Optional[WeightedSVM] = None
+        self.report: Optional[TrainingReport] = None
+
+    # -- training phase ------------------------------------------------
+    def train(
+        self, benign_lines: Iterable[str], mixed_lines: Iterable[str]
+    ) -> TrainingReport:
+        config = self.config
+        rng = config.rng()
+
+        benign_events = self.parser.parse_lines(benign_lines)
+        mixed_events = self.parser.parse_lines(mixed_lines)
+        if not benign_events or not mixed_events:
+            raise ValueError("training needs non-empty benign and mixed logs")
+
+        benign_paths = [self.partitioner.app_path(e) for e in benign_events]
+        mixed_paths = [self.partitioner.app_path(e) for e in mixed_events]
+
+        # Algorithm 1 on both logs; Algorithm 2 against the benign CFG.
+        self.benign_cfg = self.inferencer.infer(benign_paths)
+        self.mixed_cfg = self.inferencer.infer(mixed_paths)
+        if config.weighted:
+            assessor = WeightAssessor(self.benign_cfg)
+            event_weights = assessor.assess(mixed_paths)
+        else:
+            event_weights = np.ones(len(mixed_events))
+
+        # 3-tuple features and window coalescing.
+        self.featurizer = EventFeaturizer(self.partitioner).fit(
+            benign_events, mixed_events
+        )
+        benign_windows = self.coalescer.coalesce_matrix(
+            self.featurizer.transform(benign_events)
+        )
+        mixed_windows = self.coalescer.coalesce_matrix(
+            self.featurizer.transform(mixed_events)
+        )
+        if not len(benign_windows) or not len(mixed_windows):
+            raise ValueError(
+                "logs too short: need at least one full window per class "
+                f"({config.window_events} events)"
+            )
+        mixed_c = self.coalescer.window_weights(
+            event_weights, aggregate=config.window_weight_agg
+        )
+
+        X = np.vstack([benign_windows, mixed_windows])
+        y = np.concatenate(
+            [np.ones(len(benign_windows)), -np.ones(len(mixed_windows))]
+        )
+        c = np.concatenate([np.ones(len(benign_windows)), mixed_c])
+
+        # Data selection: deterministic subsample of training windows.
+        if 0 < config.max_train_windows < len(X):
+            keep = np.sort(
+                rng.choice(len(X), size=config.max_train_windows, replace=False)
+            )
+            X, y, c = X[keep], y[keep], c[keep]
+
+        self.standardizer = Standardizer().fit(X)
+        X_scaled = self.standardizer.transform(X)
+
+        svm_params = {
+            "tol": config.svm_tol,
+            "max_passes": config.svm_max_passes,
+            "max_sweeps": config.svm_max_sweeps,
+            "seed": config.seed,
+        }
+        importances = c if config.weighted else None
+        grid = grid_search_wsvm(
+            X_scaled,
+            y,
+            importances,
+            config.lam_grid,
+            config.sigma2_grid,
+            config.cv_folds,
+            rng,
+            svm_params=svm_params,
+        )
+        self.model = WeightedSVM(
+            kernel=gaussian_kernel(grid.sigma2), lam=grid.lam, **svm_params
+        )
+        self.model.fit(X_scaled, y, importances)
+
+        self.report = TrainingReport(
+            n_benign_events=len(benign_events),
+            n_mixed_events=len(mixed_events),
+            n_benign_windows=len(benign_windows),
+            n_mixed_windows=len(mixed_windows),
+            n_train_windows=len(X),
+            mean_mixed_weight=float(np.mean(mixed_c)),
+            grid=grid,
+        )
+        return self.report
+
+    # -- testing phase -------------------------------------------------
+    def featurize_log(
+        self, lines: Iterable[str]
+    ) -> Tuple[List[Window], np.ndarray]:
+        """Parse + featurize a log with the training-time vocabularies;
+        returns the window metadata and the scaled sample matrix."""
+        if self.featurizer is None or self.standardizer is None:
+            raise NotTrainedError("pipeline has not been trained")
+        events = self.parser.parse_lines(lines)
+        features = self.featurizer.transform(events)
+        windows = self.coalescer.coalesce(features, events)
+        if not windows:
+            return [], np.zeros((0, self.coalescer.dims))
+        matrix = np.stack([w.vector for w in windows])
+        return windows, self.standardizer.transform(matrix)
+
+    def score_log(self, lines: Iterable[str]) -> Tuple[List[Window], np.ndarray]:
+        """Decision values per window (negative ⇒ malicious)."""
+        if self.model is None:
+            raise NotTrainedError("pipeline has not been trained")
+        windows, matrix = self.featurize_log(lines)
+        if not windows:
+            return [], np.zeros(0)
+        return windows, self.model.decision_function(matrix)

@@ -1,0 +1,76 @@
+"""Algorithm 2 — weight assessment of mixed-log events against the benign CFG.
+
+For every event in the noisy "mixed" training log, measure how well its
+app-space call path is explained by the CFG inferred from the benign
+log:
+
+* ``CHECK_CFG`` — exact reachability: every node and every consecutive
+  edge of the path exists in the benign CFG → benignity 1.0.
+* density-array fallback (``ESTIMATE_WEIGHT``) — when the path strays
+  off the benign CFG, score each element (node or edge) of the path for
+  presence and take the mean, yielding a benignity in [0, 1].
+
+The per-sample importance handed to the Weighted SVM for *negative*
+(mixed) samples is the inversion ``c_i = 1 − benignity``: events the
+benign CFG fully explains are almost certainly mislabeled benign noise
+and get weight ≈ 0; events on alien paths are true malicious evidence
+and get weight ≈ 1 (see DESIGN.md §1 for why the inversion is needed).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.core.cfg_inference import CFG
+from repro.etw.events import FrameNode
+
+
+class WeightAssessor:
+    """Scores mixed-log app paths against a benign CFG."""
+
+    def __init__(self, benign_cfg: CFG):
+        self.benign_cfg = benign_cfg
+
+    # -- Algorithm 2 primitives ---------------------------------------
+    def check_cfg(self, path: Sequence[FrameNode]) -> bool:
+        """Exact reachability of ``path`` inside the benign CFG."""
+        if not path:
+            return True
+        if not all(self.benign_cfg.has_node(node) for node in path):
+            return False
+        return all(
+            self.benign_cfg.has_edge(src, dst) for src, dst in zip(path, path[1:])
+        )
+
+    def density_array(self, path: Sequence[FrameNode]) -> np.ndarray:
+        """Presence scores for the path's alternating node/edge elements:
+        ``[n0, e01, n1, e12, ..., nk]`` — 1.0 where the benign CFG
+        contains the element, 0.0 where it does not."""
+        if not path:
+            return np.zeros(0)
+        scores: List[float] = [1.0 if self.benign_cfg.has_node(path[0]) else 0.0]
+        for src, dst in zip(path, path[1:]):
+            scores.append(1.0 if self.benign_cfg.has_edge(src, dst) else 0.0)
+            scores.append(1.0 if self.benign_cfg.has_node(dst) else 0.0)
+        return np.asarray(scores)
+
+    def benignity(self, path: Sequence[FrameNode]) -> float:
+        """Benignity in [0, 1]; 1.0 iff the path is fully explained.
+
+        An empty app path carries no app-space evidence and is treated
+        as benign (weight 0) — it cannot incriminate anything.
+        """
+        if self.check_cfg(path):
+            return 1.0
+        return float(self.density_array(path).mean())
+
+    # -- per-event weights --------------------------------------------
+    def event_weight(self, path: Sequence[FrameNode]) -> float:
+        """``c_i = 1 − benignity`` for a mixed (negative) sample."""
+        return 1.0 - self.benignity(path)
+
+    def assess(self, paths: Iterable[Sequence[FrameNode]]) -> np.ndarray:
+        """Vector of ``c_i`` over a sequence of mixed-log app paths."""
+        return np.asarray([self.event_weight(path) for path in paths])

@@ -1,0 +1,33 @@
+"""ETW-style log substrate: raw-log parsing and stack partitioning."""
+
+from repro.etw.events import EventRecord, FrameNode, StackFrame
+from repro.etw.parser import (
+    ParseError,
+    RawLogParser,
+    iter_parse,
+    serialize_event,
+    serialize_events,
+)
+from repro.etw.stack_partition import (
+    StackPartitioner,
+    StackPartitionError,
+    is_app_module,
+    is_partition_clean,
+    is_system_module,
+)
+
+__all__ = [
+    "EventRecord",
+    "FrameNode",
+    "StackFrame",
+    "ParseError",
+    "RawLogParser",
+    "iter_parse",
+    "serialize_event",
+    "serialize_events",
+    "StackPartitioner",
+    "StackPartitionError",
+    "is_app_module",
+    "is_partition_clean",
+    "is_system_module",
+]

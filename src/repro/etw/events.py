@@ -1,0 +1,62 @@
+"""Event records and stack frames — the unit of everything LEAPS consumes.
+
+A raw "ETL" log (see :mod:`repro.etw.parser`) is an ordered sequence of
+system events; each event carries the full stack walk captured at the
+moment the event fired, from the app-level entry point (frame 0) down to
+the kernel routine that raised the event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Tuple
+
+#: Node identity used throughout CFG inference: (module, function).
+FrameNode = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class StackFrame:
+    """One frame of a stack walk.
+
+    ``index`` 0 is the outermost (app entry point) frame; indices increase
+    toward the kernel routine that raised the event.
+    """
+
+    index: int
+    module: str
+    function: str
+    address: int
+
+    @property
+    def node(self) -> FrameNode:
+        """CFG node identity of this frame."""
+        return (self.module, self.function)
+
+
+@dataclass
+class EventRecord:
+    """A system event with its correlated stack walk."""
+
+    eid: int
+    timestamp: int
+    pid: int
+    process: str
+    tid: int
+    category: str
+    opcode: int
+    name: str
+    frames: Tuple[StackFrame, ...] = field(default_factory=tuple)
+
+    @property
+    def etype(self) -> Tuple[str, int, str]:
+        """Behaviour-level identity of the event (stable across payload
+        rebuilds, unlike app-space addresses/function names)."""
+        return (self.category, self.opcode, self.name)
+
+    def with_frames(self, frames) -> "EventRecord":
+        return replace(self, frames=tuple(frames))
+
+    def iter_nodes(self) -> Iterator[FrameNode]:
+        for frame in self.frames:
+            yield frame.node

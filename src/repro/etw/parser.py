@@ -1,0 +1,161 @@
+"""Raw-log (de)serialization: the pipe-delimited "ETL" text format.
+
+Format (one record per line):
+
+``EVENT|eid|timestamp|pid|process|tid|category|opcode|name``
+``STACK|eid|frame_index|module|function|address``
+
+``STACK`` lines follow the ``EVENT`` line they belong to and must carry
+the same ``eid``; ``frame_index`` runs 0..k-1 from the app entry point
+toward the kernel.  ``address`` is hexadecimal (``0x...``).
+
+The parser is the Introperf-like front end of the paper's workflow: it
+correlates stack walks with their events and slices per process.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.etw.events import EventRecord, StackFrame
+
+
+class ParseError(ValueError):
+    """Raised on a structurally invalid raw-log line."""
+
+    def __init__(self, message: str, lineno: Optional[int] = None):
+        self.lineno = lineno
+        if lineno is not None:
+            message = f"line {lineno}: {message}"
+        super().__init__(message)
+
+
+_EVENT_FIELDS = 9
+_STACK_FIELDS = 6
+
+
+def iter_parse(lines: Iterable[str]) -> Iterator[EventRecord]:
+    """Stream :class:`EventRecord` objects out of raw log lines.
+
+    Stack–event correlation is enforced: a ``STACK`` line whose ``eid``
+    does not match the preceding ``EVENT`` is an error, as is a ``STACK``
+    line with no event to attach to or a non-contiguous frame index.
+    """
+    current: Optional[EventRecord] = None
+    frames: List[StackFrame] = []
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.rstrip("\n")
+        if not line.strip():
+            continue
+        fields = line.split("|")
+        tag = fields[0]
+        if tag == "EVENT":
+            if len(fields) != _EVENT_FIELDS:
+                raise ParseError(
+                    f"EVENT needs {_EVENT_FIELDS} fields, got {len(fields)}", lineno
+                )
+            if current is not None:
+                yield current.with_frames(frames)
+            try:
+                current = EventRecord(
+                    eid=int(fields[1]),
+                    timestamp=int(fields[2]),
+                    pid=int(fields[3]),
+                    process=fields[4],
+                    tid=int(fields[5]),
+                    category=fields[6],
+                    opcode=int(fields[7]),
+                    name=fields[8],
+                )
+            except ValueError as exc:
+                raise ParseError(f"bad EVENT field: {exc}", lineno) from None
+            frames = []
+        elif tag == "STACK":
+            if len(fields) != _STACK_FIELDS:
+                raise ParseError(
+                    f"STACK needs {_STACK_FIELDS} fields, got {len(fields)}", lineno
+                )
+            if current is None:
+                raise ParseError("STACK line before any EVENT", lineno)
+            try:
+                eid = int(fields[1])
+                index = int(fields[2])
+                address = int(fields[5], 16)
+            except ValueError as exc:
+                raise ParseError(f"bad STACK field: {exc}", lineno) from None
+            if eid != current.eid:
+                raise ParseError(
+                    f"STACK eid {eid} does not match EVENT eid {current.eid}", lineno
+                )
+            if index != len(frames):
+                raise ParseError(
+                    f"non-contiguous frame index {index} (expected {len(frames)})",
+                    lineno,
+                )
+            frames.append(
+                StackFrame(index=index, module=fields[3], function=fields[4], address=address)
+            )
+        else:
+            raise ParseError(f"unknown record tag {tag!r}", lineno)
+    if current is not None:
+        yield current.with_frames(frames)
+
+
+class RawLogParser:
+    """Parse raw ETL text into :class:`EventRecord` sequences."""
+
+    def parse_lines(self, lines: Iterable[str]) -> List[EventRecord]:
+        return list(iter_parse(lines))
+
+    def parse_text(self, text: str) -> List[EventRecord]:
+        return self.parse_lines(text.splitlines())
+
+    def parse_file(self, path) -> List[EventRecord]:
+        with open(path, "r", encoding="utf-8") as handle:
+            return self.parse_lines(handle)
+
+    def slice_process(
+        self, events: Sequence[EventRecord], process: str
+    ) -> List[EventRecord]:
+        """Per-process slicing of a whole-machine log."""
+        return [event for event in events if event.process == process]
+
+
+def serialize_event(event: EventRecord) -> List[str]:
+    """Render one event (and its stack walk) back to raw-log lines."""
+    lines = [
+        "|".join(
+            (
+                "EVENT",
+                str(event.eid),
+                str(event.timestamp),
+                str(event.pid),
+                event.process,
+                str(event.tid),
+                event.category,
+                str(event.opcode),
+                event.name,
+            )
+        )
+    ]
+    for frame in event.frames:
+        lines.append(
+            "|".join(
+                (
+                    "STACK",
+                    str(event.eid),
+                    str(frame.index),
+                    frame.module,
+                    frame.function,
+                    f"0x{frame.address:x}",
+                )
+            )
+        )
+    return lines
+
+
+def serialize_events(events: Iterable[EventRecord]) -> List[str]:
+    lines: List[str] = []
+    for event in events:
+        lines.extend(serialize_event(event))
+    return lines

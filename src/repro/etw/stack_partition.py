@@ -1,0 +1,98 @@
+"""Split a stack walk into its app-space and system-space halves.
+
+LEAPS infers CFGs only from the *app* portion of each stack walk (the
+frames executing application code, including payload code injected into
+the app's address space); the *system* portion (Windows DLLs, drivers,
+kernel) is shared across applications and becomes part of the
+behaviour-level feature instead.
+
+A frame belongs to the system stack iff its module is a system library
+(``*.dll``), a driver (``*.sys``) or the kernel image (``ntoskrnl.exe``).
+Everything else — the host executable, trojaned/payload executables, and
+``<unknown>`` (code running outside any loaded module, i.e. injected
+shellcode) — is app space.
+
+In a well-formed walk the app frames form a contiguous prefix: control
+enters the system through a call and never calls back up into app
+modules below a system frame (callbacks re-enter through a fresh event).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.etw.events import EventRecord, FrameNode, StackFrame
+
+#: Module-name suffixes that mark system-space frames.
+SYSTEM_MODULE_SUFFIXES: Tuple[str, ...] = (".dll", ".sys")
+
+#: Exact module names that are system-space despite their extension.
+SYSTEM_MODULE_NAMES = frozenset({"ntoskrnl.exe"})
+
+
+def is_system_module(module: str) -> bool:
+    lowered = module.lower()
+    return lowered.endswith(SYSTEM_MODULE_SUFFIXES) or lowered in SYSTEM_MODULE_NAMES
+
+
+def is_app_module(module: str) -> bool:
+    return not is_system_module(module)
+
+
+class StackPartitionError(ValueError):
+    """An app frame appeared below a system frame in the walk."""
+
+
+class StackPartitioner:
+    """Partition stack walks; optionally enforce the prefix invariant.
+
+    ``strict=True`` raises :class:`StackPartitionError` when app frames
+    interleave with system frames; ``strict=False`` splits at the first
+    system frame regardless (useful for hostile/corrupt logs).
+    """
+
+    def __init__(self, strict: bool = True):
+        self.strict = strict
+
+    def partition(
+        self, frames: Sequence[StackFrame]
+    ) -> Tuple[List[StackFrame], List[StackFrame]]:
+        split = len(frames)
+        for position, frame in enumerate(frames):
+            if is_system_module(frame.module):
+                split = position
+                break
+        app, system = list(frames[:split]), list(frames[split:])
+        if self.strict:
+            for frame in system:
+                if is_app_module(frame.module):
+                    raise StackPartitionError(
+                        f"app frame {frame.module}!{frame.function} below a "
+                        f"system frame at index {frame.index}"
+                    )
+        return app, system
+
+    def app_stack(self, event: EventRecord) -> List[StackFrame]:
+        return self.partition(event.frames)[0]
+
+    def system_stack(self, event: EventRecord) -> List[StackFrame]:
+        return self.partition(event.frames)[1]
+
+    def app_path(self, event: EventRecord) -> List[FrameNode]:
+        """The app-space call path of an event, outermost first — the
+        input unit of Algorithm 1 and Algorithm 2."""
+        return [frame.node for frame in self.app_stack(event)]
+
+    def system_path(self, event: EventRecord) -> List[FrameNode]:
+        return [frame.node for frame in self.system_stack(event)]
+
+
+def is_partition_clean(frames: Sequence[StackFrame]) -> bool:
+    """True iff app frames form a contiguous prefix of the walk."""
+    seen_system = False
+    for frame in frames:
+        system = is_system_module(frame.module)
+        if seen_system and not system:
+            return False
+        seen_system = seen_system or system
+    return True

@@ -1,0 +1,28 @@
+"""Statistical learning: SMO kernel SVM, Weighted SVM, metrics, CV."""
+
+from repro.learning.cross_validation import GridResult, grid_search_wsvm, kfold_indices
+from repro.learning.kernels import (
+    gaussian_kernel,
+    linear_kernel,
+    make_kernel,
+    squared_distances,
+)
+from repro.learning.metrics import ConfusionMatrix, accuracy
+from repro.learning.scaling import Standardizer
+from repro.learning.svm import KernelSVM
+from repro.learning.wsvm import WeightedSVM
+
+__all__ = [
+    "GridResult",
+    "grid_search_wsvm",
+    "kfold_indices",
+    "gaussian_kernel",
+    "linear_kernel",
+    "make_kernel",
+    "squared_distances",
+    "ConfusionMatrix",
+    "accuracy",
+    "Standardizer",
+    "KernelSVM",
+    "WeightedSVM",
+]

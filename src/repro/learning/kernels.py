@@ -1,0 +1,47 @@
+"""Kernel functions for the SMO solver.
+
+Kernels take two sample matrices ``X (n, d)`` and ``Y (m, d)`` and
+return the Gram matrix ``(n, m)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+Kernel = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def linear_kernel(X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+    return np.asarray(X) @ np.asarray(Y).T
+
+
+def squared_distances(X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+    X = np.asarray(X, dtype=float)
+    Y = np.asarray(Y, dtype=float)
+    sq = (
+        np.sum(X * X, axis=1)[:, None]
+        + np.sum(Y * Y, axis=1)[None, :]
+        - 2.0 * (X @ Y.T)
+    )
+    return np.maximum(sq, 0.0)
+
+
+def gaussian_kernel(sigma2: float) -> Kernel:
+    """The paper's Gaussian kernel ``K(x, y) = exp(−‖x−y‖² / (2σ²))``."""
+    if sigma2 <= 0:
+        raise ValueError("sigma2 must be positive")
+
+    def kernel(X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+        return np.exp(-squared_distances(X, Y) / (2.0 * sigma2))
+
+    return kernel
+
+
+def make_kernel(name: str, **params) -> Kernel:
+    if name == "linear":
+        return linear_kernel
+    if name == "gaussian":
+        return gaussian_kernel(params["sigma2"])
+    raise ValueError(f"unknown kernel {name!r}")

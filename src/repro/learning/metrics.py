@@ -1,0 +1,76 @@
+"""Confusion-matrix metrics: the paper's ACC/PPV/TPR/TNR/NPV quintet."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _ratio(numerator: float, denominator: float) -> float:
+    return float(numerator) / float(denominator) if denominator else 0.0
+
+
+@dataclass(frozen=True)
+class ConfusionMatrix:
+    """Counts for a binary problem where +1 is the positive class."""
+
+    tp: int
+    fp: int
+    tn: int
+    fn: int
+
+    @classmethod
+    def from_labels(cls, y_true, y_pred) -> "ConfusionMatrix":
+        y_true = np.asarray(y_true).reshape(-1)
+        y_pred = np.asarray(y_pred).reshape(-1)
+        if len(y_true) != len(y_pred):
+            raise ValueError("label length mismatch")
+        pos_true, pos_pred = y_true > 0, y_pred > 0
+        return cls(
+            tp=int(np.sum(pos_true & pos_pred)),
+            fp=int(np.sum(~pos_true & pos_pred)),
+            tn=int(np.sum(~pos_true & ~pos_pred)),
+            fn=int(np.sum(pos_true & ~pos_pred)),
+        )
+
+    @property
+    def total(self) -> int:
+        return self.tp + self.fp + self.tn + self.fn
+
+    @property
+    def accuracy(self) -> float:
+        return _ratio(self.tp + self.tn, self.total)
+
+    @property
+    def ppv(self) -> float:
+        """Positive predictive value (precision)."""
+        return _ratio(self.tp, self.tp + self.fp)
+
+    @property
+    def tpr(self) -> float:
+        """True positive rate (recall / sensitivity)."""
+        return _ratio(self.tp, self.tp + self.fn)
+
+    @property
+    def tnr(self) -> float:
+        """True negative rate (specificity)."""
+        return _ratio(self.tn, self.tn + self.fp)
+
+    @property
+    def npv(self) -> float:
+        """Negative predictive value."""
+        return _ratio(self.tn, self.tn + self.fn)
+
+    def as_dict(self) -> dict:
+        return {
+            "ACC": self.accuracy,
+            "PPV": self.ppv,
+            "TPR": self.tpr,
+            "TNR": self.tnr,
+            "NPV": self.npv,
+        }
+
+
+def accuracy(y_true, y_pred) -> float:
+    return ConfusionMatrix.from_labels(y_true, y_pred).accuracy

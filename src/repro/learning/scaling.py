@@ -1,0 +1,34 @@
+"""Feature standardization.
+
+Vocabulary ids are arbitrary integers on very different scales per
+column; the Gaussian kernel needs commensurable axes.  Zero-variance
+columns are left unscaled (divisor 1) instead of exploding.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class Standardizer:
+    def __init__(self):
+        self.mean_: Optional[np.ndarray] = None
+        self.scale_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray) -> "Standardizer":
+        X = np.asarray(X, dtype=float)
+        self.mean_ = X.mean(axis=0) if len(X) else np.zeros(X.shape[1])
+        scale = X.std(axis=0) if len(X) else np.ones(X.shape[1])
+        scale = np.where(scale < 1e-12, 1.0, scale)
+        self.scale_ = scale
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("Standardizer.transform before fit")
+        return (np.asarray(X, dtype=float) - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)

@@ -1,0 +1,177 @@
+"""From-scratch SMO-trained soft-margin kernel SVM.
+
+Solves the C-SVC dual with *per-sample* box constraints
+
+    max  Σαᵢ − ½ ΣΣ αᵢαⱼ yᵢyⱼ K(xᵢ,xⱼ)
+    s.t. 0 ≤ αᵢ ≤ Cᵢ,   Σ αᵢyᵢ = 0
+
+which is exactly the Weighted SVM dual of the paper's Eqn. (4) when
+``Cᵢ = λ·cᵢ`` (see :mod:`repro.learning.wsvm`); the plain SVM is the
+special case of a constant ``Cᵢ``.  sklearn/LIBSVM are deliberately not
+used (DESIGN.md §1).
+
+The solver is Platt's SMO with the max-|ΔE| second-choice heuristic, a
+full decision-value cache updated incrementally after every pair step,
+and a seeded tie-break RNG so training is deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.learning.kernels import Kernel, linear_kernel
+
+_EPS = 1e-8
+
+
+class KernelSVM:
+    """Binary kernel SVM (labels must be ±1) trained by SMO."""
+
+    def __init__(
+        self,
+        kernel: Optional[Kernel] = None,
+        C: float = 1.0,
+        tol: float = 1e-3,
+        max_passes: int = 5,
+        max_sweeps: int = 200,
+        seed: int = 0,
+    ):
+        self.kernel = kernel or linear_kernel
+        self.C = C
+        self.tol = tol
+        self.max_passes = max_passes
+        self.max_sweeps = max_sweeps
+        self.seed = seed
+        self.alpha: Optional[np.ndarray] = None
+        self.b: float = 0.0
+        self._sv_X: Optional[np.ndarray] = None
+        self._sv_coef: Optional[np.ndarray] = None
+
+    # -- training ------------------------------------------------------
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        sample_C: Optional[np.ndarray] = None,
+    ) -> "KernelSVM":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).reshape(-1)
+        if X.ndim != 2 or len(X) != len(y):
+            raise ValueError("X must be (n, d) with one label per row")
+        if not np.all(np.isin(y, (-1.0, 1.0))):
+            raise ValueError("labels must be ±1")
+        n = len(y)
+        if sample_C is None:
+            C_vec = np.full(n, float(self.C))
+        else:
+            C_vec = np.asarray(sample_C, dtype=float).reshape(-1)
+            if len(C_vec) != n:
+                raise ValueError("sample_C length mismatch")
+            if np.any(C_vec < 0):
+                raise ValueError("sample_C must be non-negative")
+
+        rng = np.random.default_rng(self.seed)
+        K = self.kernel(X, X)
+        alpha = np.zeros(n)
+        self._b = 0.0
+        # decision values without the intercept: f[i] = Σ αⱼyⱼK[j, i]
+        f = np.zeros(n)
+        active = np.flatnonzero(C_vec > _EPS)
+
+        passes = 0
+        sweeps = 0
+        while passes < self.max_passes and sweeps < self.max_sweeps:
+            changed = 0
+            for i in active:
+                b = self._b
+                E_i = f[i] + b - y[i]
+                r = y[i] * E_i
+                if not (
+                    (r < -self.tol and alpha[i] < C_vec[i] - _EPS)
+                    or (r > self.tol and alpha[i] > _EPS)
+                ):
+                    continue
+                # Platt's second-choice hierarchy: try partners in
+                # decreasing |E_i − E_j| order until one step succeeds —
+                # the single best j can be stuck at a bound.
+                E = f + b - y
+                gaps = np.abs(E - E_i)
+                gaps[i] = -1.0
+                gaps[C_vec <= _EPS] = -1.0
+                order = np.argsort(-gaps, kind="stable")
+                # break exact ties randomly so degenerate problems
+                # cannot cycle; the rng is seeded, so still deterministic
+                if len(order) > 1 and gaps[order[0]] == gaps[order[1]]:
+                    order = order.copy()
+                    rng.shuffle(order)
+                    order = order[np.argsort(-gaps[order], kind="stable")]
+                for j in order:
+                    if gaps[j] < 0:
+                        break
+                    if self._take_step(i, int(j), K, y, alpha, C_vec, f, E_i, E[j]):
+                        changed += 1
+                        break
+            sweeps += 1
+            passes = passes + 1 if changed == 0 else 0
+
+        b = self._b
+        # Recompute the intercept from margin support vectors when any
+        # exist — more stable than the running b1/b2 estimate.
+        margin = (alpha > _EPS) & (alpha < C_vec - _EPS)
+        if np.any(margin):
+            b = float(np.mean(y[margin] - f[margin]))
+        self.alpha = alpha
+        self.b = b
+        support = alpha > _EPS
+        self._sv_X = X[support]
+        self._sv_coef = alpha[support] * y[support]
+        self.support_ = np.flatnonzero(support)
+        return self
+
+    def _take_step(self, i, j, K, y, alpha, C_vec, f, E_i, E_j) -> bool:
+        if i == j:
+            return False
+        a_i, a_j = alpha[i], alpha[j]
+        if y[i] != y[j]:
+            gamma = a_j - a_i
+            L, H = max(0.0, gamma), min(C_vec[j], gamma + C_vec[i])
+        else:
+            total = a_i + a_j
+            L, H = max(0.0, total - C_vec[i]), min(C_vec[j], total)
+        if L >= H - _EPS:
+            return False
+        eta = 2.0 * K[i, j] - K[i, i] - K[j, j]
+        if eta >= -_EPS:
+            return False
+        a_j_new = np.clip(a_j - y[j] * (E_i - E_j) / eta, L, H)
+        if abs(a_j_new - a_j) < _EPS:
+            return False
+        a_i_new = a_i + y[i] * y[j] * (a_j - a_j_new)
+        d_i, d_j = a_i_new - a_i, a_j_new - a_j
+        b = self._b
+        b1 = b - E_i - y[i] * d_i * K[i, i] - y[j] * d_j * K[i, j]
+        b2 = b - E_j - y[i] * d_i * K[i, j] - y[j] * d_j * K[j, j]
+        if _EPS < a_i_new < C_vec[i] - _EPS:
+            self._b = b1
+        elif _EPS < a_j_new < C_vec[j] - _EPS:
+            self._b = b2
+        else:
+            self._b = (b1 + b2) / 2.0
+        f += y[i] * d_i * K[i] + y[j] * d_j * K[j]
+        alpha[i], alpha[j] = a_i_new, a_j_new
+        return True
+
+    # -- inference -----------------------------------------------------
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        if self._sv_X is None:
+            raise RuntimeError("KernelSVM.decision_function before fit")
+        X = np.asarray(X, dtype=float)
+        if len(self._sv_X) == 0:
+            return np.full(len(X), self.b)
+        return self.kernel(X, self._sv_X) @ self._sv_coef + self.b
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        scores = self.decision_function(X)
+        return np.where(scores >= 0.0, 1.0, -1.0)

@@ -1,0 +1,12 @@
+"""Preprocessing: 3-tuple event features and window coalescing."""
+
+from repro.preprocessing.features import UNKNOWN_ID, EventFeaturizer, Vocabulary
+from repro.preprocessing.windows import Window, WindowCoalescer
+
+__all__ = [
+    "UNKNOWN_ID",
+    "EventFeaturizer",
+    "Vocabulary",
+    "Window",
+    "WindowCoalescer",
+]

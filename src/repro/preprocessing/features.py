@@ -1,0 +1,115 @@
+"""3-tuple event features.
+
+Each event is reduced to a numeric 3-tuple (paper §III-B / Fig. 2):
+
+``(event_type_id, app_signature_id, system_signature_id)``
+
+* *event type* — the behaviour-level identity ``(category, opcode,
+  name)``.  Stable across payload rebuilds, so this dimension carries
+  the cross-build detection signal.
+* *app signature* — the app-space call path ``((module, function), …)``.
+  Payload polymorphism re-randomizes these per build; unseen signatures
+  map to the reserved UNKNOWN id.
+* *system signature* — the system-space call chain; shared OS code, so
+  stable.
+
+Ids are assigned by first-appearance order during :meth:`fit`, which
+makes featurization deterministic for a fixed training corpus.  (The
+full UPGMA clustering of the paper's Figure 2 collapses *similar* —
+rather than identical — attributes to one id; that refinement lands
+with ``repro.preprocessing.clustering``.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.etw.events import EventRecord
+from repro.etw.stack_partition import StackPartitioner
+
+#: Reserved id for attribute values never seen during training.
+UNKNOWN_ID = 0
+
+
+class Vocabulary:
+    """First-appearance-ordered mapping of hashable keys to ids ≥ 1."""
+
+    def __init__(self):
+        self._ids: Dict[Hashable, int] = {}
+        self.frozen = False
+
+    def add(self, key: Hashable) -> int:
+        if key not in self._ids:
+            if self.frozen:
+                return UNKNOWN_ID
+            self._ids[key] = len(self._ids) + 1
+        return self._ids[key]
+
+    def lookup(self, key: Hashable) -> int:
+        return self._ids.get(key, UNKNOWN_ID)
+
+    def freeze(self) -> None:
+        self.frozen = True
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._ids
+
+
+class EventFeaturizer:
+    """Fit attribute vocabularies on training logs, then map any event
+    stream to an ``(n, 3)`` feature matrix."""
+
+    DIMS = 3
+
+    def __init__(self, partitioner: StackPartitioner | None = None):
+        self.partitioner = partitioner or StackPartitioner()
+        self.etype_vocab = Vocabulary()
+        self.app_vocab = Vocabulary()
+        self.system_vocab = Vocabulary()
+        self.fitted = False
+
+    # -- attribute extraction -----------------------------------------
+    def attributes(
+        self, event: EventRecord
+    ) -> Tuple[Hashable, Hashable, Hashable]:
+        app = tuple(self.partitioner.app_path(event))
+        system = tuple(self.partitioner.system_path(event))
+        return (event.etype, app, system)
+
+    # -- fit / transform ----------------------------------------------
+    def fit(self, *event_streams: Iterable[EventRecord]) -> "EventFeaturizer":
+        for stream in event_streams:
+            for event in stream:
+                etype, app, system = self.attributes(event)
+                self.etype_vocab.add(etype)
+                self.app_vocab.add(app)
+                self.system_vocab.add(system)
+        self.etype_vocab.freeze()
+        self.app_vocab.freeze()
+        self.system_vocab.freeze()
+        self.fitted = True
+        return self
+
+    def transform(self, events: Sequence[EventRecord]) -> np.ndarray:
+        if not self.fitted:
+            raise RuntimeError("EventFeaturizer.transform before fit")
+        rows: List[Tuple[int, int, int]] = []
+        for event in events:
+            etype, app, system = self.attributes(event)
+            rows.append(
+                (
+                    self.etype_vocab.lookup(etype),
+                    self.app_vocab.lookup(app),
+                    self.system_vocab.lookup(system),
+                )
+            )
+        return np.asarray(rows, dtype=float).reshape(len(rows), self.DIMS)
+
+    def fit_transform(self, events: Sequence[EventRecord]) -> np.ndarray:
+        self.fit(events)
+        return self.transform(events)

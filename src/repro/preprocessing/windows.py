@@ -1,0 +1,90 @@
+"""Window coalescing: per-event 3-tuples → fixed-width sample vectors.
+
+Classifying single events is too noisy (paper §III-B, window ablation):
+LEAPS concatenates the 3-tuples of ``window_events`` consecutive events
+into one sample — 10 events × 3 dims = the paper's 30-dim vectors — and
+slides the window by ``stride`` events.  Trailing events that do not
+fill a whole window are dropped.
+
+Per-window sample weights aggregate the member events' Algorithm-2
+weights (mean by default, max as the pessimistic alternative).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.etw.events import EventRecord
+
+
+@dataclass(frozen=True)
+class Window:
+    """One coalesced sample and the event span it covers."""
+
+    start_index: int
+    start_eid: int
+    end_eid: int
+    vector: np.ndarray
+
+
+class WindowCoalescer:
+    def __init__(self, window_events: int = 10, stride: int = 10):
+        if window_events < 1:
+            raise ValueError("window_events must be >= 1")
+        if stride < 1:
+            raise ValueError("stride must be >= 1")
+        self.window_events = window_events
+        self.stride = stride
+
+    @property
+    def dims(self) -> int:
+        return 3 * self.window_events
+
+    def _starts(self, count: int) -> range:
+        if count < self.window_events:
+            return range(0)
+        return range(0, count - self.window_events + 1, self.stride)
+
+    def coalesce(
+        self, features: np.ndarray, events: Sequence[EventRecord]
+    ) -> List[Window]:
+        if len(features) != len(events):
+            raise ValueError("features/events length mismatch")
+        windows: List[Window] = []
+        for start in self._starts(len(events)):
+            stop = start + self.window_events
+            windows.append(
+                Window(
+                    start_index=start,
+                    start_eid=events[start].eid,
+                    end_eid=events[stop - 1].eid,
+                    vector=features[start:stop].reshape(-1),
+                )
+            )
+        return windows
+
+    def coalesce_matrix(self, features: np.ndarray) -> np.ndarray:
+        """Window vectors only, stacked into an ``(m, 3*window)`` matrix."""
+        rows = [
+            features[start : start + self.window_events].reshape(-1)
+            for start in self._starts(len(features))
+        ]
+        if not rows:
+            return np.zeros((0, self.dims))
+        return np.stack(rows)
+
+    def window_weights(
+        self, event_weights: np.ndarray, aggregate: str = "mean"
+    ) -> np.ndarray:
+        """Aggregate per-event Algorithm-2 weights into per-window weights."""
+        if aggregate not in ("mean", "max"):
+            raise ValueError(f"unknown aggregate {aggregate!r}")
+        reduce = np.mean if aggregate == "mean" else np.max
+        values = [
+            float(reduce(event_weights[start : start + self.window_events]))
+            for start in self._starts(len(event_weights))
+        ]
+        return np.asarray(values)

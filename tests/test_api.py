@@ -1,0 +1,122 @@
+"""Public API surface: README imports, config validation, tiny pipeline."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import LeapsConfig, LeapsDetector
+from repro.core.pipeline import LeapsPipeline, NotTrainedError
+
+
+class TestPublicSurface:
+    def test_readme_imports(self):
+        from repro import LeapsConfig, LeapsDetector  # noqa: F401
+
+    def test_version(self):
+        assert isinstance(repro.__version__, str)
+
+    def test_readme_config_kwargs(self):
+        config = LeapsConfig(
+            stride=2, cv_folds=3, lam_grid=(1.0, 10.0), sigma2_grid=(10.0, 60.0)
+        )
+        assert config.stride == 2
+        assert config.dims == 30
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"window_events": 0},
+            {"stride": 0},
+            {"window_weight_agg": "median"},
+            {"lam_grid": ()},
+            {"sigma2_grid": ()},
+            {"max_train_windows": -1},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            LeapsConfig(**kwargs)
+
+    def test_rng_is_seeded_and_fresh(self):
+        config = LeapsConfig(seed=42)
+        assert config.rng().integers(1 << 30) == config.rng().integers(1 << 30)
+
+
+def make_log(specs, start_eid=0):
+    """Build raw-log lines from (name, [(module, function), ...]) specs."""
+    lines = []
+    for offset, (name, stack) in enumerate(specs):
+        eid = start_eid + offset
+        lines.append(f"EVENT|{eid}|{eid * 1000}|1000|app.exe|4|SYSCALL_ENTER|1|{name}")
+        for depth, (module, function) in enumerate(stack):
+            lines.append(
+                f"STACK|{eid}|{depth}|{module}|{function}|0x{0x400000 + depth * 0x40:x}"
+            )
+    return lines
+
+
+APP = [("app.exe", "WinMain"), ("app.exe", "work")]
+SYS = [("kernel32.dll", "ReadFile"), ("ntoskrnl.exe", "NtReadFile")]
+PAYLOAD = [("app.exe", "WinMain"), ("payload.exe", "exfil")]
+NET = [("ws2_32.dll", "send"), ("tcpip.sys", "TcpSend")]
+
+
+def tiny_training_logs(n=24):
+    benign = make_log([("read", APP + SYS)] * n)
+    mixed_specs = [("read", APP + SYS), ("beacon", PAYLOAD + NET)] * (n // 2)
+    mixed = make_log(mixed_specs)
+    return benign, mixed
+
+
+class TestTinyPipeline:
+    @pytest.fixture
+    def detector(self):
+        benign, mixed = tiny_training_logs()
+        config = LeapsConfig(
+            window_events=2,
+            stride=1,
+            lam_grid=(10.0,),
+            sigma2_grid=(5.0,),
+            cv_folds=0,
+            max_train_windows=0,
+            seed=1,
+        )
+        detector = LeapsDetector(config)
+        detector.train_from_logs(benign, mixed)
+        return detector
+
+    def test_trained_state(self, detector):
+        assert detector.trained
+        assert detector.report.n_benign_events == 24
+
+    def test_flags_payload_windows(self, detector):
+        scan = detector.scan_log(make_log([("beacon", PAYLOAD + NET)] * 6))
+        flagged, total = detector.alert_summary(scan)
+        assert total == 5
+        assert flagged == total
+
+    def test_passes_benign_windows(self, detector):
+        scan = detector.scan_log(make_log([("read", APP + SYS)] * 6))
+        flagged, _ = detector.alert_summary(scan)
+        assert flagged == 0
+
+    def test_short_scan_log_yields_no_windows(self, detector):
+        assert detector.scan_log(make_log([("read", APP + SYS)])) == []
+
+
+class TestPipelineErrors:
+    def test_scan_before_train(self):
+        with pytest.raises(NotTrainedError):
+            LeapsPipeline().score_log([])
+
+    def test_empty_training_logs_rejected(self):
+        with pytest.raises(ValueError):
+            LeapsPipeline().train([], [])
+
+    def test_too_short_logs_rejected(self):
+        benign, mixed = tiny_training_logs(4)
+        pipeline = LeapsPipeline(LeapsConfig(window_events=30))
+        with pytest.raises(ValueError, match="too short"):
+            pipeline.train(benign, mixed)

@@ -1,0 +1,124 @@
+"""Algorithm 1 — CFG inference, including the paper's Figure-3 example."""
+
+import pytest
+
+from repro.core.cfg_inference import (
+    CFG,
+    EXPLICIT,
+    IMPLICIT,
+    CFGInferencer,
+    common_prefix_length,
+    implicit_chain,
+)
+
+MAIN = ("app.exe", "WinMain")
+A = ("app.exe", "funcA")
+B = ("app.exe", "funcB")
+C = ("app.exe", "funcC")
+D = ("app.exe", "funcD")
+
+
+class TestCFGContainer:
+    def test_add_and_query(self):
+        cfg = CFG()
+        cfg.add_edge(A, B)
+        assert cfg.has_node(A) and cfg.has_node(B)
+        assert cfg.has_edge(A, B) and not cfg.has_edge(B, A)
+        assert cfg.successors(A) == frozenset({B})
+        assert cfg.predecessors(B) == frozenset({A})
+        assert cfg.node_count == 2 and cfg.edge_count == 1
+
+    def test_edge_kinds_accumulate(self):
+        cfg = CFG()
+        cfg.add_edge(A, B, EXPLICIT)
+        cfg.add_edge(A, B, IMPLICIT)
+        assert cfg.edge_kinds(A, B) == frozenset({EXPLICIT, IMPLICIT})
+
+    def test_merge(self):
+        first, second = CFG(), CFG()
+        first.add_edge(A, B)
+        second.add_edge(B, C, IMPLICIT)
+        second.add_node(D)
+        first.merge(second)
+        assert first.has_edge(A, B) and first.has_edge(B, C)
+        assert first.has_node(D)
+        assert first.edge_kinds(B, C) == frozenset({IMPLICIT})
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            CFG().add_edge(A, B, "telepathic")
+
+
+class TestHelpers:
+    def test_common_prefix_length(self):
+        assert common_prefix_length([MAIN, A, B], [MAIN, A, C]) == 2
+        assert common_prefix_length([MAIN, A], [MAIN, A, C]) == 2
+        assert common_prefix_length([A], [B]) == 0
+
+    def test_implicit_chain_divergent(self):
+        # return from B up to the common ancestor A, then call down to C
+        assert implicit_chain([MAIN, A, B], [MAIN, A, C]) == [B, A, C]
+
+    def test_implicit_chain_pure_call(self):
+        # second walk goes deeper on the same path: no returns inferred
+        assert implicit_chain([MAIN, A], [MAIN, A, B]) == [A, B]
+
+    def test_implicit_chain_pure_return(self):
+        assert implicit_chain([MAIN, A, B], [MAIN, A]) == [B, A]
+
+    def test_implicit_chain_no_common_ancestor(self):
+        assert implicit_chain([A, B], [C, D]) == [B, A, C, D]
+
+
+class TestFigure3:
+    """The paper's two-adjacent-events example: stacks [Main, A, B] then
+    [Main, A, C] yield explicit call paths plus the implicit B→A→C flow."""
+
+    @pytest.fixture
+    def cfg(self):
+        return CFGInferencer().infer([[MAIN, A, B], [MAIN, A, C]])
+
+    def test_nodes(self, cfg):
+        assert set(cfg.nodes()) == {MAIN, A, B, C}
+
+    def test_explicit_paths(self, cfg):
+        for src, dst in [(MAIN, A), (A, B), (A, C)]:
+            assert EXPLICIT in cfg.edge_kinds(src, dst)
+
+    def test_implicit_path(self, cfg):
+        assert cfg.edge_kinds(B, A) == frozenset({IMPLICIT})
+        assert IMPLICIT in cfg.edge_kinds(A, C)
+
+    def test_exact_edge_set(self, cfg):
+        assert set(cfg.edges()) == {(MAIN, A), (A, B), (A, C), (B, A)}
+
+
+class TestInferencer:
+    def test_empty_paths_are_skipped(self):
+        cfg = CFGInferencer().infer([[MAIN, A], [], [MAIN, B]])
+        # the empty path does not break adjacency: A→MAIN→B is inferred
+        assert cfg.has_edge(A, MAIN) and cfg.has_edge(MAIN, B)
+
+    def test_single_frame_paths(self):
+        cfg = CFGInferencer().infer([[MAIN], [MAIN]])
+        assert set(cfg.nodes()) == {MAIN}
+        assert cfg.edge_count == 0
+
+    def test_no_self_loops_from_repeated_stacks(self):
+        cfg = CFGInferencer().infer([[MAIN, A], [MAIN, A]])
+        assert not cfg.has_edge(A, A)
+        assert set(cfg.edges()) == {(MAIN, A)}
+
+    def test_benign_log_shape(self, tiny_log_lines):
+        from repro.etw.parser import RawLogParser
+        from repro.etw.stack_partition import StackPartitioner
+
+        events = RawLogParser().parse_lines(tiny_log_lines)
+        partitioner = StackPartitioner()
+        cfg = CFGInferencer().infer([partitioner.app_path(e) for e in events])
+        win_main = ("app.exe", "WinMain")
+        assert cfg.has_edge(win_main, ("app.exe", "message_pump"))
+        assert cfg.has_edge(win_main, ("app.exe", "load_config"))
+        assert cfg.has_edge(win_main, ("app.exe", "net_loop"))
+        # implicit returns between adjacent events
+        assert cfg.has_edge(("app.exe", "message_pump"), win_main)

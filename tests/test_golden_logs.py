@@ -1,0 +1,80 @@
+"""Golden-file regression tests over the checked-in benchmark datasets.
+
+The ``benchmarks/.data/<dataset>-s<seed>-<hash>/`` cache is the ground
+truth for the raw-log format; these tests pin the parser to it.
+"""
+
+from itertools import islice
+
+import pytest
+
+from repro.etw.parser import RawLogParser, serialize_events
+from repro.etw.stack_partition import is_partition_clean
+
+from tests.conftest import DATA_DIR
+
+pytestmark = pytest.mark.skipif(
+    not DATA_DIR.is_dir(), reason="golden dataset cache missing"
+)
+
+HEADER_LINES = 600
+
+ALL_DATASETS = sorted(
+    p.name for p in DATA_DIR.iterdir() if p.is_dir()
+) if DATA_DIR.is_dir() else []
+BENIGN_LOGS = sorted(
+    str(p.relative_to(DATA_DIR)) for p in DATA_DIR.glob("*/benign.log")
+)
+ALL_LOGS = sorted(str(p.relative_to(DATA_DIR)) for p in DATA_DIR.glob("*/*.log"))
+
+
+def read_header(relpath, limit=HEADER_LINES):
+    with open(DATA_DIR / relpath, "r", encoding="utf-8") as handle:
+        return list(islice(handle, limit))
+
+
+def test_golden_cache_present():
+    assert len(ALL_DATASETS) == 19
+    assert len(BENIGN_LOGS) == 5
+
+
+@pytest.mark.parametrize("relpath", BENIGN_LOGS)
+class TestBenignHeaderInvariants:
+    def test_parses_and_event_ids_monotonic(self, relpath):
+        events = RawLogParser().parse_lines(read_header(relpath))
+        assert len(events) > 0
+        eids = [event.eid for event in events]
+        assert eids == sorted(eids)
+        assert len(set(eids)) == len(eids)
+
+    def test_frame_depth_ordering(self, relpath):
+        """Frame indices run 0..k-1 from the app entry point downward."""
+        for event in RawLogParser().parse_lines(read_header(relpath)):
+            assert [frame.index for frame in event.frames] == list(
+                range(len(event.frames))
+            )
+
+    def test_app_frames_below_system_frames(self, relpath):
+        for event in RawLogParser().parse_lines(read_header(relpath)):
+            assert is_partition_clean(event.frames), event.eid
+
+
+@pytest.mark.parametrize("relpath", ALL_LOGS)
+def test_every_golden_log_header_parses(relpath):
+    """Every log of every dataset (malicious/mixed included) parses and
+    keeps the partition invariant — injected ``<unknown>`` frames stay
+    in app space."""
+    events = RawLogParser().parse_lines(read_header(relpath))
+    assert len(events) > 0
+    for event in events:
+        assert is_partition_clean(event.frames)
+
+
+def test_round_trip_full_log():
+    """parse → serialize → parse is the identity on one full golden log."""
+    path = DATA_DIR / "notepad++_codeinject-s0-733c79dbeaba" / "benign.log"
+    lines = path.read_text(encoding="utf-8").splitlines()
+    parser = RawLogParser()
+    events = parser.parse_lines(lines)
+    assert serialize_events(events) == lines
+    assert parser.parse_lines(serialize_events(events)) == events

@@ -1,0 +1,153 @@
+"""Kernels, standardization, confusion-matrix metrics, CV grid search."""
+
+import numpy as np
+import pytest
+
+from repro.learning.cross_validation import grid_search_wsvm, kfold_indices
+from repro.learning.kernels import (
+    gaussian_kernel,
+    linear_kernel,
+    make_kernel,
+    squared_distances,
+)
+from repro.learning.metrics import ConfusionMatrix, accuracy
+from repro.learning.scaling import Standardizer
+
+
+class TestKernels:
+    def test_linear_is_gram(self):
+        X = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert np.allclose(linear_kernel(X, X), X @ X.T)
+
+    def test_squared_distances(self):
+        X = np.array([[0.0], [3.0]])
+        Y = np.array([[4.0]])
+        assert np.allclose(squared_distances(X, Y), [[16.0], [1.0]])
+
+    def test_gaussian_diagonal_is_one(self):
+        X = np.random.default_rng(0).normal(size=(5, 3))
+        K = gaussian_kernel(2.0)(X, X)
+        assert np.allclose(np.diag(K), 1.0)
+        assert np.all((K > 0) & (K <= 1.0))
+
+    def test_gaussian_value(self):
+        K = gaussian_kernel(2.0)(np.array([[0.0]]), np.array([[2.0]]))
+        assert K[0, 0] == pytest.approx(np.exp(-1.0))
+
+    def test_make_kernel(self):
+        assert make_kernel("linear") is linear_kernel
+        assert make_kernel("gaussian", sigma2=1.0)(
+            np.zeros((1, 1)), np.zeros((1, 1))
+        )[0, 0] == 1.0
+        with pytest.raises(ValueError):
+            make_kernel("polynomial")
+        with pytest.raises(ValueError):
+            gaussian_kernel(0.0)
+
+
+class TestStandardizer:
+    def test_zero_mean_unit_variance(self):
+        X = np.random.default_rng(1).normal(5.0, 3.0, size=(100, 4))
+        Z = Standardizer().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_column_unscaled(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        Z = Standardizer().fit_transform(X)
+        assert np.allclose(Z[:, 0], 0.0)
+        assert np.isfinite(Z).all()
+
+    def test_transform_before_fit(self):
+        with pytest.raises(RuntimeError):
+            Standardizer().transform(np.ones((2, 2)))
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        cm = ConfusionMatrix.from_labels(
+            [1, 1, 1, -1, -1, -1], [1, 1, -1, -1, 1, -1]
+        )
+        assert (cm.tp, cm.fn, cm.tn, cm.fp) == (2, 1, 2, 1)
+
+    def test_metric_quintet(self):
+        cm = ConfusionMatrix(tp=8, fp=2, tn=6, fn=4)
+        assert cm.accuracy == pytest.approx(14 / 20)
+        assert cm.ppv == pytest.approx(8 / 10)
+        assert cm.tpr == pytest.approx(8 / 12)
+        assert cm.tnr == pytest.approx(6 / 8)
+        assert cm.npv == pytest.approx(6 / 10)
+        assert set(cm.as_dict()) == {"ACC", "PPV", "TPR", "TNR", "NPV"}
+
+    def test_degenerate_denominators(self):
+        cm = ConfusionMatrix(tp=0, fp=0, tn=0, fn=0)
+        assert cm.accuracy == 0.0 and cm.ppv == 0.0 and cm.npv == 0.0
+
+    def test_accuracy_helper(self):
+        assert accuracy([1, -1], [1, 1]) == 0.5
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ConfusionMatrix.from_labels([1], [1, -1])
+
+
+class TestKFold:
+    def test_partition_properties(self):
+        rng = np.random.default_rng(0)
+        pairs = kfold_indices(10, 3, rng)
+        assert len(pairs) == 3
+        all_test = np.concatenate([test for _, test in pairs])
+        assert sorted(all_test.tolist()) == list(range(10))
+        for train, test in pairs:
+            assert set(train) | set(test) == set(range(10))
+            assert set(train) & set(test) == set()
+
+    def test_deterministic_under_seed(self):
+        first = kfold_indices(20, 4, np.random.default_rng(5))
+        second = kfold_indices(20, 4, np.random.default_rng(5))
+        for (a, b), (c, d) in zip(first, second):
+            assert np.array_equal(a, c) and np.array_equal(b, d)
+
+    def test_rejects_bad_folds(self):
+        with pytest.raises(ValueError):
+            kfold_indices(10, 1, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            kfold_indices(2, 3, np.random.default_rng(0))
+
+
+class TestGridSearch:
+    @pytest.fixture
+    def toy(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(40, 2))
+        y = np.where(X[:, 0] > 0, 1.0, -1.0)
+        return X, y
+
+    def test_single_combo_skips_cv(self, toy):
+        X, y = toy
+        result = grid_search_wsvm(
+            X, y, None, (1.0,), (2.0,), folds=3, rng=np.random.default_rng(0)
+        )
+        assert (result.lam, result.sigma2) == (1.0, 2.0)
+        assert np.isnan(result.score)
+
+    def test_cv_disabled_uses_first_combo(self, toy):
+        X, y = toy
+        result = grid_search_wsvm(
+            X, y, None, (5.0, 1.0), (3.0, 2.0), folds=0, rng=np.random.default_rng(0)
+        )
+        assert (result.lam, result.sigma2) == (5.0, 3.0)
+
+    def test_full_search_scores_every_combo(self, toy):
+        X, y = toy
+        result = grid_search_wsvm(
+            X, y, None, (1.0, 10.0), (1.0, 5.0), folds=2, rng=np.random.default_rng(0)
+        )
+        assert len(result.table) == 4
+        assert result.score == max(row[2] for row in result.table)
+        assert 0.5 <= result.score <= 1.0
+
+    def test_empty_grid_rejected(self, toy):
+        X, y = toy
+        with pytest.raises(ValueError):
+            grid_search_wsvm(X, y, None, (), (1.0,), 2, np.random.default_rng(0))

@@ -1,0 +1,96 @@
+"""Raw-log parser: structure, correlation, errors, round-trip."""
+
+import pytest
+
+from repro.etw.events import StackFrame
+from repro.etw.parser import (
+    ParseError,
+    RawLogParser,
+    iter_parse,
+    serialize_event,
+    serialize_events,
+)
+
+
+@pytest.fixture
+def parser():
+    return RawLogParser()
+
+
+class TestParsing:
+    def test_parses_all_events(self, parser, tiny_log_lines):
+        events = parser.parse_lines(tiny_log_lines)
+        assert [e.eid for e in events] == [0, 1, 2]
+
+    def test_event_fields(self, parser, tiny_log_lines):
+        event = parser.parse_lines(tiny_log_lines)[1]
+        assert event.timestamp == 1000
+        assert event.pid == 1000
+        assert event.process == "app.exe"
+        assert event.tid == 4
+        assert event.category == "FILE_IO_READ"
+        assert event.opcode == 3
+        assert event.name == "read_config"
+        assert event.etype == ("FILE_IO_READ", 3, "read_config")
+
+    def test_stack_correlation(self, parser, tiny_log_lines):
+        events = parser.parse_lines(tiny_log_lines)
+        frames = events[0].frames
+        assert [f.index for f in frames] == [0, 1, 2, 3]
+        assert frames[0] == StackFrame(0, "app.exe", "WinMain", 0x400012)
+        assert frames[2].node == ("user32.dll", "GetMessageW")
+
+    def test_blank_lines_ignored(self, parser, tiny_log_lines):
+        padded = ["", tiny_log_lines[0], "   "] + tiny_log_lines[1:] + [""]
+        assert len(parser.parse_lines(padded)) == 3
+
+    def test_streaming_matches_batch(self, parser, tiny_log_lines):
+        assert list(iter_parse(tiny_log_lines)) == parser.parse_lines(tiny_log_lines)
+
+    def test_slice_process(self, parser, tiny_log_lines):
+        events = parser.parse_lines(tiny_log_lines)
+        assert parser.slice_process(events, "app.exe") == events
+        assert parser.slice_process(events, "other.exe") == []
+
+
+class TestErrors:
+    def test_unknown_tag(self, parser):
+        with pytest.raises(ParseError, match="unknown record tag"):
+            parser.parse_lines(["BOGUS|1|2"])
+
+    def test_stack_before_event(self, parser):
+        with pytest.raises(ParseError, match="before any EVENT"):
+            parser.parse_lines(["STACK|0|0|app.exe|f|0x1"])
+
+    def test_eid_mismatch(self, parser, tiny_log_lines):
+        lines = tiny_log_lines[:1] + ["STACK|7|0|app.exe|f|0x1"]
+        with pytest.raises(ParseError, match="does not match"):
+            parser.parse_lines(lines)
+
+    def test_non_contiguous_frame_index(self, parser, tiny_log_lines):
+        lines = tiny_log_lines[:1] + ["STACK|0|5|app.exe|f|0x1"]
+        with pytest.raises(ParseError, match="non-contiguous"):
+            parser.parse_lines(lines)
+
+    def test_wrong_field_count(self, parser):
+        with pytest.raises(ParseError, match="EVENT needs"):
+            parser.parse_lines(["EVENT|1|2|3"])
+
+    def test_bad_numeric_field(self, parser):
+        with pytest.raises(ParseError, match="bad EVENT field"):
+            parser.parse_lines(["EVENT|x|0|1000|app.exe|4|C|1|n"])
+
+    def test_error_carries_line_number(self, parser):
+        with pytest.raises(ParseError, match="line 1"):
+            parser.parse_lines(["EVENT|1|2|3"])
+
+
+class TestRoundTrip:
+    def test_serialize_single_event(self, parser, tiny_log_lines):
+        events = parser.parse_lines(tiny_log_lines)
+        assert serialize_event(events[0]) == tiny_log_lines[:5]
+
+    def test_round_trip_identity(self, parser, tiny_log_lines):
+        events = parser.parse_lines(tiny_log_lines)
+        assert serialize_events(events) == tiny_log_lines
+        assert parser.parse_lines(serialize_events(events)) == events

@@ -1,0 +1,97 @@
+"""App/system stack partitioning."""
+
+import pytest
+
+from repro.etw.events import StackFrame
+from repro.etw.parser import RawLogParser
+from repro.etw.stack_partition import (
+    StackPartitioner,
+    StackPartitionError,
+    is_app_module,
+    is_partition_clean,
+    is_system_module,
+)
+
+
+def frames(*specs):
+    return [
+        StackFrame(i, module, function, 0x1000 + i)
+        for i, (module, function) in enumerate(specs)
+    ]
+
+
+class TestModuleClassification:
+    @pytest.mark.parametrize(
+        "module", ["ntdll.dll", "user32.dll", "win32k.sys", "tcpip.sys", "ntoskrnl.exe"]
+    )
+    def test_system_modules(self, module):
+        assert is_system_module(module)
+        assert not is_app_module(module)
+
+    @pytest.mark.parametrize(
+        "module", ["notepad++.exe", "vim.exe", "reverse_tcp.exe", "<unknown>"]
+    )
+    def test_app_modules(self, module):
+        """Payload executables and injected shellcode are app space."""
+        assert is_app_module(module)
+        assert not is_system_module(module)
+
+
+class TestPartition:
+    def test_splits_at_first_system_frame(self):
+        walk = frames(
+            ("app.exe", "WinMain"),
+            ("app.exe", "net_loop"),
+            ("ws2_32.dll", "send"),
+            ("tcpip.sys", "TcpSend"),
+        )
+        app, system = StackPartitioner().partition(walk)
+        assert [f.function for f in app] == ["WinMain", "net_loop"]
+        assert [f.function for f in system] == ["send", "TcpSend"]
+
+    def test_all_app(self):
+        walk = frames(("app.exe", "WinMain"), ("app.exe", "helper"))
+        app, system = StackPartitioner().partition(walk)
+        assert len(app) == 2 and system == []
+
+    def test_injected_code_is_app_space(self):
+        walk = frames(
+            ("app.exe", "WinMain"),
+            ("<unknown>", "sub_7f000012"),
+            ("ws2_32.dll", "connect"),
+        )
+        app, _ = StackPartitioner().partition(walk)
+        assert [f.module for f in app] == ["app.exe", "<unknown>"]
+
+    def test_strict_rejects_interleaving(self):
+        walk = frames(
+            ("app.exe", "WinMain"), ("user32.dll", "Dispatch"), ("app.exe", "callback")
+        )
+        with pytest.raises(StackPartitionError):
+            StackPartitioner(strict=True).partition(walk)
+        assert not is_partition_clean(walk)
+
+    def test_lenient_splits_anyway(self):
+        walk = frames(
+            ("app.exe", "WinMain"), ("user32.dll", "Dispatch"), ("app.exe", "callback")
+        )
+        app, system = StackPartitioner(strict=False).partition(walk)
+        assert len(app) == 1 and len(system) == 2
+
+    def test_empty_walk(self):
+        app, system = StackPartitioner().partition([])
+        assert app == [] and system == []
+
+
+class TestEventHelpers:
+    def test_app_path_on_parsed_event(self, tiny_log_lines):
+        event = RawLogParser().parse_lines(tiny_log_lines)[0]
+        partitioner = StackPartitioner()
+        assert partitioner.app_path(event) == [
+            ("app.exe", "WinMain"),
+            ("app.exe", "message_pump"),
+        ]
+        assert partitioner.system_path(event) == [
+            ("user32.dll", "GetMessageW"),
+            ("win32k.sys", "NtUserGetMessage"),
+        ]

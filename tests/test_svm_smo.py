@@ -1,0 +1,131 @@
+"""SMO solver verified against analytically solvable problems."""
+
+import numpy as np
+import pytest
+
+from repro.learning.kernels import gaussian_kernel, linear_kernel
+from repro.learning.svm import KernelSVM
+from repro.learning.wsvm import WeightedSVM
+
+
+class TestTwoPointProblem:
+    """x=±1 with y=±1, linear kernel: the dual maximizes 2α − 2α², so
+    α₁ = α₂ = 0.5, w = 1, b = 0."""
+
+    @pytest.fixture
+    def model(self):
+        X = np.array([[1.0], [-1.0]])
+        y = np.array([1.0, -1.0])
+        return KernelSVM(kernel=linear_kernel, C=10.0).fit(X, y)
+
+    def test_alphas(self, model):
+        assert model.alpha == pytest.approx([0.5, 0.5], abs=1e-6)
+
+    def test_intercept(self, model):
+        assert model.b == pytest.approx(0.0, abs=1e-6)
+
+    def test_decision_values(self, model):
+        scores = model.decision_function(np.array([[1.0], [-1.0], [0.0]]))
+        assert scores == pytest.approx([1.0, -1.0, 0.0], abs=1e-6)
+
+    def test_dual_feasibility(self, model):
+        # Σ αᵢyᵢ = 0 and 0 ≤ αᵢ ≤ C
+        y = np.array([1.0, -1.0])
+        assert float(model.alpha @ y) == pytest.approx(0.0, abs=1e-9)
+        assert np.all(model.alpha >= 0) and np.all(model.alpha <= 10.0)
+
+
+class TestFourPointProblem:
+    """Collinear points −2,−1 (y=−1) and 1,2 (y=+1): only the inner pair
+    are support vectors.  Margins at x = ±1 force w = 1 and b = 0, so
+    f(x) = x and (by Σαᵢyᵢxᵢ = w with symmetry) α = 0.5 each."""
+
+    @pytest.fixture
+    def model(self):
+        X = np.array([[-2.0], [-1.0], [1.0], [2.0]])
+        y = np.array([-1.0, -1.0, 1.0, 1.0])
+        return KernelSVM(kernel=linear_kernel, C=10.0).fit(X, y)
+
+    def test_support_vectors(self, model):
+        assert model.alpha == pytest.approx([0.0, 0.5, 0.5, 0.0], abs=1e-6)
+        assert set(model.support_) == {1, 2}
+
+    def test_decision_is_identity(self, model):
+        grid = np.array([[-2.0], [-0.5], [0.0], [1.5]])
+        assert model.decision_function(grid) == pytest.approx(
+            [-2.0, -0.5, 0.0, 1.5], abs=1e-6
+        )
+
+    def test_perfect_classification(self, model):
+        X = np.array([[-2.0], [-1.0], [1.0], [2.0]])
+        assert model.predict(X).tolist() == [-1.0, -1.0, 1.0, 1.0]
+
+
+class TestPerSampleBoxConstraints:
+    def test_zero_weight_sample_is_ignored(self):
+        """A conflicting point with C_i = 0 must not move the boundary:
+        the solution matches the clean two-point problem exactly."""
+        X = np.array([[1.0], [-1.0], [1.0]])
+        y = np.array([1.0, -1.0, -1.0])  # third point mislabeled
+        model = WeightedSVM(kernel=linear_kernel, lam=10.0)
+        model.fit(X, y, c=np.array([1.0, 1.0, 0.0]))
+        assert model.alpha[2] == 0.0
+        assert model.decision_function(np.array([[1.0], [-1.0]])) == pytest.approx(
+            [1.0, -1.0], abs=1e-6
+        )
+
+    def test_alpha_respects_scaled_bound(self):
+        X = np.array([[1.0], [-1.0]])
+        y = np.array([1.0, -1.0])
+        model = WeightedSVM(kernel=linear_kernel, lam=0.2)
+        model.fit(X, y, c=np.array([1.0, 0.5]))
+        # bounds: α₀ ≤ 0.2, α₁ ≤ 0.1; equality constraint forces both to 0.1
+        assert model.alpha == pytest.approx([0.1, 0.1], abs=1e-6)
+
+    def test_uniform_weights_equal_plain_svm(self):
+        rng = np.random.default_rng(7)
+        X = rng.normal(size=(20, 2))
+        y = np.where(X[:, 0] + X[:, 1] > 0, 1.0, -1.0)
+        plain = KernelSVM(kernel=linear_kernel, C=2.0).fit(X, y)
+        weighted = WeightedSVM(kernel=linear_kernel, lam=2.0).fit(X, y)
+        grid = rng.normal(size=(10, 2))
+        assert weighted.decision_function(grid) == pytest.approx(
+            plain.decision_function(grid), abs=1e-6
+        )
+
+    def test_importances_outside_unit_interval_rejected(self):
+        X = np.array([[1.0], [-1.0]])
+        y = np.array([1.0, -1.0])
+        with pytest.raises(ValueError):
+            WeightedSVM().fit(X, y, c=np.array([1.0, 2.0]))
+
+
+class TestGaussianKernelSVM:
+    def test_xor_is_separable(self):
+        X = np.array([[0.0, 0.0], [1.0, 1.0], [0.0, 1.0], [1.0, 0.0]])
+        y = np.array([1.0, 1.0, -1.0, -1.0])
+        model = KernelSVM(kernel=gaussian_kernel(0.5), C=100.0).fit(X, y)
+        assert model.predict(X).tolist() == y.tolist()
+
+    def test_determinism(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(30, 3))
+        y = np.where(rng.normal(size=30) > 0, 1.0, -1.0)
+        first = KernelSVM(kernel=gaussian_kernel(2.0), C=1.0, seed=3).fit(X, y)
+        second = KernelSVM(kernel=gaussian_kernel(2.0), C=1.0, seed=3).fit(X, y)
+        assert np.array_equal(first.alpha, second.alpha)
+        assert first.b == second.b
+
+
+class TestValidation:
+    def test_rejects_non_pm1_labels(self):
+        with pytest.raises(ValueError, match="±1"):
+            KernelSVM().fit(np.ones((2, 1)), np.array([0.0, 1.0]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            KernelSVM().fit(np.ones((3, 1)), np.array([1.0, -1.0]))
+
+    def test_decision_before_fit(self):
+        with pytest.raises(RuntimeError):
+            KernelSVM().decision_function(np.ones((1, 1)))

@@ -1,0 +1,88 @@
+"""Algorithm 2 — benignity scoring and the c = 1 − benignity inversion."""
+
+import numpy as np
+import pytest
+
+from repro.core.cfg_inference import CFGInferencer
+from repro.core.weights import WeightAssessor
+
+MAIN = ("app.exe", "WinMain")
+A = ("app.exe", "funcA")
+B = ("app.exe", "funcB")
+C = ("app.exe", "funcC")
+PAYLOAD1 = ("app.exe", "payload_main")
+PAYLOAD2 = ("<unknown>", "sub_7f000012")
+
+
+@pytest.fixture
+def assessor():
+    benign_cfg = CFGInferencer().infer([[MAIN, A, B], [MAIN, A, C]])
+    return WeightAssessor(benign_cfg)
+
+
+class TestCheckCFG:
+    def test_known_path_passes(self, assessor):
+        assert assessor.check_cfg([MAIN, A, B])
+        assert assessor.check_cfg([MAIN, A, C])
+
+    def test_implicit_edges_count_as_reachable(self, assessor):
+        # B→A is an implicit (return) edge of the benign CFG
+        assert assessor.check_cfg([B, A])
+
+    def test_unknown_node_fails(self, assessor):
+        assert not assessor.check_cfg([MAIN, PAYLOAD1])
+
+    def test_known_nodes_unknown_edge_fails(self, assessor):
+        assert not assessor.check_cfg([MAIN, B])
+
+    def test_empty_path_passes(self, assessor):
+        assert assessor.check_cfg([])
+
+
+class TestDensityArray:
+    def test_alternating_layout(self, assessor):
+        # [n0, e01, n1, e12, n2] for a 3-node path
+        array = assessor.density_array([MAIN, A, B])
+        assert array.tolist() == [1.0, 1.0, 1.0, 1.0, 1.0]
+
+    def test_alien_suffix(self, assessor):
+        array = assessor.density_array([MAIN, A, PAYLOAD1])
+        # MAIN ok, edge MAIN→A ok, A ok, edge A→payload missing, payload missing
+        assert array.tolist() == [1.0, 1.0, 1.0, 0.0, 0.0]
+
+    def test_fully_alien(self, assessor):
+        assert assessor.density_array([PAYLOAD1, PAYLOAD2]).tolist() == [0.0, 0.0, 0.0]
+
+    def test_single_node(self, assessor):
+        assert assessor.density_array([MAIN]).tolist() == [1.0]
+        assert assessor.density_array([PAYLOAD1]).tolist() == [0.0]
+
+
+class TestBenignity:
+    def test_benign_path_scores_one(self, assessor):
+        assert assessor.benignity([MAIN, A, B]) == 1.0
+
+    def test_alien_path_scores_zero(self, assessor):
+        assert assessor.benignity([PAYLOAD1, PAYLOAD2]) == 0.0
+
+    def test_partial_path_in_between(self, assessor):
+        score = assessor.benignity([MAIN, A, PAYLOAD1])
+        assert score == pytest.approx(3.0 / 5.0)
+
+    def test_empty_path_is_benign(self, assessor):
+        assert assessor.benignity([]) == 1.0
+
+
+class TestWeightInversion:
+    """c_i = 1 − benignity: mislabeled benign noise → 0, payload → 1."""
+
+    def test_inversion(self, assessor):
+        assert assessor.event_weight([MAIN, A, B]) == 0.0
+        assert assessor.event_weight([PAYLOAD1, PAYLOAD2]) == 1.0
+        assert assessor.event_weight([MAIN, A, PAYLOAD1]) == pytest.approx(2.0 / 5.0)
+
+    def test_assess_vector(self, assessor):
+        weights = assessor.assess([[MAIN, A, B], [PAYLOAD1, PAYLOAD2], [MAIN, A, C]])
+        assert isinstance(weights, np.ndarray)
+        assert weights.tolist() == [0.0, 1.0, 0.0]
+        assert np.all((weights >= 0.0) & (weights <= 1.0))

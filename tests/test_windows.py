@@ -1,0 +1,79 @@
+"""Window coalescing: 3-tuples → 30-dim samples, weight aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.etw.events import EventRecord
+from repro.preprocessing.windows import WindowCoalescer
+
+
+def make_events(n):
+    return [
+        EventRecord(
+            eid=i, timestamp=i * 1000, pid=1, process="app.exe",
+            tid=4, category="C", opcode=0, name="n",
+        )
+        for i in range(n)
+    ]
+
+
+class TestCoalesce:
+    def test_paper_dimensions(self):
+        coalescer = WindowCoalescer(window_events=10, stride=10)
+        assert coalescer.dims == 30
+        matrix = coalescer.coalesce_matrix(np.arange(60).reshape(20, 3))
+        assert matrix.shape == (2, 30)
+
+    def test_window_vector_is_concatenation(self):
+        features = np.arange(12).reshape(4, 3)
+        matrix = WindowCoalescer(window_events=2, stride=2).coalesce_matrix(features)
+        assert matrix[0].tolist() == [0, 1, 2, 3, 4, 5]
+        assert matrix[1].tolist() == [6, 7, 8, 9, 10, 11]
+
+    def test_stride_overlap(self):
+        features = np.arange(12).reshape(4, 3)
+        matrix = WindowCoalescer(window_events=2, stride=1).coalesce_matrix(features)
+        assert matrix.shape == (3, 6)
+        assert matrix[1].tolist() == [3, 4, 5, 6, 7, 8]
+
+    def test_trailing_partial_window_dropped(self):
+        features = np.arange(15).reshape(5, 3)
+        matrix = WindowCoalescer(window_events=2, stride=2).coalesce_matrix(features)
+        assert matrix.shape == (2, 6)
+
+    def test_too_few_events_yields_nothing(self):
+        matrix = WindowCoalescer(window_events=10).coalesce_matrix(np.ones((4, 3)))
+        assert matrix.shape == (0, 30)
+
+    def test_window_metadata(self):
+        events = make_events(5)
+        features = np.zeros((5, 3))
+        windows = WindowCoalescer(window_events=2, stride=2).coalesce(features, events)
+        assert [(w.start_eid, w.end_eid) for w in windows] == [(0, 1), (2, 3)]
+        assert windows[1].start_index == 2
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            WindowCoalescer().coalesce(np.zeros((3, 3)), make_events(4))
+
+
+class TestWindowWeights:
+    def test_mean_aggregation(self):
+        weights = np.array([0.0, 1.0, 1.0, 0.0])
+        out = WindowCoalescer(window_events=2, stride=2).window_weights(weights)
+        assert out.tolist() == [0.5, 0.5]
+
+    def test_max_aggregation(self):
+        weights = np.array([0.0, 1.0, 0.0, 0.0])
+        coalescer = WindowCoalescer(window_events=2, stride=2)
+        assert coalescer.window_weights(weights, aggregate="max").tolist() == [1.0, 0.0]
+
+    def test_unknown_aggregate_rejected(self):
+        with pytest.raises(ValueError):
+            WindowCoalescer().window_weights(np.ones(10), aggregate="median")
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            WindowCoalescer(window_events=0)
+        with pytest.raises(ValueError):
+            WindowCoalescer(stride=0)
