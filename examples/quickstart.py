@@ -54,6 +54,14 @@ def main() -> int:
     print(f"mean mixed weight:  {report.mean_mixed_weight:.3f}")
     print(f"chosen (λ, σ²):     ({report.grid.lam}, {report.grid.sigma2})")
 
+    # Per-stage wall time from the pipeline's instrumentation — the
+    # quickstart doubles as a minimal perf demo (see benchmarks/).
+    total = sum(seconds for _, seconds in report.stage_seconds)
+    print("stage timings:")
+    for stage, seconds in report.stage_seconds:
+        print(f"  {stage:<14} {seconds * 1000:9.1f} ms  ({seconds / total:5.1%})")
+    print(f"  {'total':<14} {total * 1000:9.1f} ms")
+
     # 3. Scan production logs.
     for label, lines in (("clean traffic", benign_prod), ("malicious log", malicious)):
         detections = detector.scan_log(lines)

@@ -8,7 +8,7 @@ explicit ``numpy.random.Generator`` instances — no global RNG state
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Tuple
 
 import numpy as np
@@ -29,11 +29,18 @@ class LeapsConfig:
     # -- learning / model selection
     lam_grid: Tuple[float, ...] = (1.0, 10.0)
     sigma2_grid: Tuple[float, ...] = (10.0, 60.0)
-    #: < 2 disables CV and uses the first grid point
+    #: CV folds for the grid search; < 2 is only valid with a
+    #: single-point grid (CV is then skipped entirely)
     cv_folds: int = 3
     svm_tol: float = 1e-3
     svm_max_passes: int = 5
     svm_max_sweeps: int = 200
+    #: parallel workers for the CV grid search (1 = in-process serial);
+    #: the GridResult is bit-identical for any worker count
+    n_jobs: int = 1
+    #: pool flavor for n_jobs > 1: "process" sidesteps the GIL for the
+    #: SMO solve, "thread" shares the in-process Gram cache
+    cv_executor: str = "process"
 
     # -- data selection (the paper samples its training windows)
     #: cap on training windows; 0 disables subsampling
@@ -51,6 +58,15 @@ class LeapsConfig:
             raise ValueError("window_weight_agg must be 'mean' or 'max'")
         if not self.lam_grid or not self.sigma2_grid:
             raise ValueError("lam_grid and sigma2_grid must be non-empty")
+        if self.cv_folds < 2 and len(self.lam_grid) * len(self.sigma2_grid) > 1:
+            raise ValueError(
+                "cv_folds < 2 cannot select among multiple (λ, σ²) grid "
+                "points; shrink the grid to one point or use >= 2 folds"
+            )
+        if self.n_jobs < 1:
+            raise ValueError("n_jobs must be >= 1")
+        if self.cv_executor not in ("process", "thread"):
+            raise ValueError("cv_executor must be 'process' or 'thread'")
         if self.max_train_windows < 0:
             raise ValueError("max_train_windows must be >= 0")
 

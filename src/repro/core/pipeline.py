@@ -6,25 +6,33 @@ the benign CFG (Algorithm 2) → featurize (3-tuples), coalesce into
 30-dim windows, standardize → CV grid search → train the Weighted SVM
 with ``0 ≤ αᵢ ≤ λ·cᵢ``.
 
+The grid search runs on the fast path: one
+:class:`~repro.learning.kernels.PrecomputedKernel` distance cache is
+built per training matrix, every σ² Gram is derived from it, CV cells
+slice the Gram by fold indices, and the final full-set fit reuses the
+winning σ² Gram.  ``LeapsConfig.n_jobs`` fans the CV cells over a
+worker pool without changing the selected model.  Every stage's wall
+time is recorded in ``TrainingReport.stage_seconds``.
+
 Scanning:  featurize a production log with the *training* vocabularies
 and score each window; negative decision values are malicious windows.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.cfg_inference import CFG, CFGInferencer
 from repro.core.config import LeapsConfig
 from repro.core.weights import WeightAssessor
-from repro.etw.events import EventRecord
 from repro.etw.parser import RawLogParser
 from repro.etw.stack_partition import StackPartitioner
 from repro.learning.cross_validation import GridResult, grid_search_wsvm
-from repro.learning.kernels import gaussian_kernel
+from repro.learning.kernels import PrecomputedKernel, gaussian_kernel
 from repro.learning.scaling import Standardizer
 from repro.learning.wsvm import WeightedSVM
 from repro.preprocessing.features import EventFeaturizer
@@ -42,6 +50,28 @@ class TrainingReport:
     n_train_windows: int
     mean_mixed_weight: float
     grid: GridResult
+    #: (stage name, wall seconds) in execution order: parse,
+    #: cfg_inference, weights, featurize, grid_search, final_fit
+    stage_seconds: Tuple[Tuple[str, float], ...] = ()
+
+
+@dataclass
+class PreparedTraining:
+    """The scaled training matrix and its provenance counts — everything
+    the model-selection stage needs, exposed so benchmarks can time the
+    grid search in isolation."""
+
+    X: np.ndarray
+    y: np.ndarray
+    c: np.ndarray
+    #: ``c`` when the config is weighted, else None (plain-SVM baseline)
+    importances: Optional[np.ndarray]
+    n_benign_events: int
+    n_mixed_events: int
+    n_benign_windows: int
+    n_mixed_windows: int
+    mean_mixed_weight: float
+    stage_seconds: List[Tuple[str, float]]
 
 
 class NotTrainedError(RuntimeError):
@@ -67,30 +97,44 @@ class LeapsPipeline:
         self.report: Optional[TrainingReport] = None
 
     # -- training phase ------------------------------------------------
-    def train(
-        self, benign_lines: Iterable[str], mixed_lines: Iterable[str]
-    ) -> TrainingReport:
+    def prepare_training(
+        self,
+        benign_lines: Iterable[str],
+        mixed_lines: Iterable[str],
+        rng: Optional[np.random.Generator] = None,
+    ) -> PreparedTraining:
+        """Run every stage up to (but not including) model selection:
+        parse → CFGs → weights → featurize/coalesce/subsample/scale."""
         config = self.config
-        rng = config.rng()
+        rng = config.rng() if rng is None else rng
+        timings: List[Tuple[str, float]] = []
+        clock = time.perf_counter
 
+        started = clock()
         benign_events = self.parser.parse_lines(benign_lines)
         mixed_events = self.parser.parse_lines(mixed_lines)
         if not benign_events or not mixed_events:
             raise ValueError("training needs non-empty benign and mixed logs")
-
         benign_paths = [self.partitioner.app_path(e) for e in benign_events]
         mixed_paths = [self.partitioner.app_path(e) for e in mixed_events]
+        timings.append(("parse", clock() - started))
 
         # Algorithm 1 on both logs; Algorithm 2 against the benign CFG.
+        started = clock()
         self.benign_cfg = self.inferencer.infer(benign_paths)
         self.mixed_cfg = self.inferencer.infer(mixed_paths)
+        timings.append(("cfg_inference", clock() - started))
+
+        started = clock()
         if config.weighted:
             assessor = WeightAssessor(self.benign_cfg)
             event_weights = assessor.assess(mixed_paths)
         else:
             event_weights = np.ones(len(mixed_events))
+        timings.append(("weights", clock() - started))
 
         # 3-tuple features and window coalescing.
+        started = clock()
         self.featurizer = EventFeaturizer(self.partitioner).fit(
             benign_events, mixed_events
         )
@@ -124,37 +168,80 @@ class LeapsPipeline:
 
         self.standardizer = Standardizer().fit(X)
         X_scaled = self.standardizer.transform(X)
+        timings.append(("featurize", clock() - started))
 
-        svm_params = {
+        return PreparedTraining(
+            X=X_scaled,
+            y=y,
+            c=c,
+            importances=c if config.weighted else None,
+            n_benign_events=len(benign_events),
+            n_mixed_events=len(mixed_events),
+            n_benign_windows=len(benign_windows),
+            n_mixed_windows=len(mixed_windows),
+            mean_mixed_weight=float(np.mean(mixed_c)),
+            stage_seconds=timings,
+        )
+
+    def svm_params(self) -> dict:
+        config = self.config
+        return {
             "tol": config.svm_tol,
             "max_passes": config.svm_max_passes,
             "max_sweeps": config.svm_max_sweeps,
             "seed": config.seed,
         }
-        importances = c if config.weighted else None
+
+    def train(
+        self, benign_lines: Iterable[str], mixed_lines: Iterable[str]
+    ) -> TrainingReport:
+        config = self.config
+        rng = config.rng()
+        prepared = self.prepare_training(benign_lines, mixed_lines, rng=rng)
+        timings = prepared.stage_seconds
+        clock = time.perf_counter
+
+        started = clock()
+        svm_params = self.svm_params()
+        cache = PrecomputedKernel(prepared.X)
         grid = grid_search_wsvm(
-            X_scaled,
-            y,
-            importances,
+            prepared.X,
+            prepared.y,
+            prepared.importances,
             config.lam_grid,
             config.sigma2_grid,
             config.cv_folds,
             rng,
             svm_params=svm_params,
+            n_jobs=config.n_jobs,
+            executor=config.cv_executor,
+            cache=cache,
         )
+        timings.append(("grid_search", clock() - started))
+
+        # Final full-set fit reuses the winning σ²'s cached Gram — the
+        # cache memo already holds it unless CV was skipped.
+        started = clock()
         self.model = WeightedSVM(
             kernel=gaussian_kernel(grid.sigma2), lam=grid.lam, **svm_params
         )
-        self.model.fit(X_scaled, y, importances)
+        self.model.fit(
+            prepared.X,
+            prepared.y,
+            prepared.importances,
+            gram=cache.gram(grid.sigma2),
+        )
+        timings.append(("final_fit", clock() - started))
 
         self.report = TrainingReport(
-            n_benign_events=len(benign_events),
-            n_mixed_events=len(mixed_events),
-            n_benign_windows=len(benign_windows),
-            n_mixed_windows=len(mixed_windows),
-            n_train_windows=len(X),
-            mean_mixed_weight=float(np.mean(mixed_c)),
+            n_benign_events=prepared.n_benign_events,
+            n_mixed_events=prepared.n_mixed_events,
+            n_benign_windows=prepared.n_benign_windows,
+            n_mixed_windows=prepared.n_mixed_windows,
+            n_train_windows=len(prepared.X),
+            mean_mixed_weight=prepared.mean_mixed_weight,
             grid=grid,
+            stage_seconds=tuple(timings),
         )
         return self.report
 

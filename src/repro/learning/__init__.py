@@ -2,6 +2,7 @@
 
 from repro.learning.cross_validation import GridResult, grid_search_wsvm, kfold_indices
 from repro.learning.kernels import (
+    PrecomputedKernel,
     gaussian_kernel,
     linear_kernel,
     make_kernel,
@@ -9,13 +10,14 @@ from repro.learning.kernels import (
 )
 from repro.learning.metrics import ConfusionMatrix, accuracy
 from repro.learning.scaling import Standardizer
-from repro.learning.svm import KernelSVM
+from repro.learning.svm import ConvergenceWarning, KernelSVM
 from repro.learning.wsvm import WeightedSVM
 
 __all__ = [
     "GridResult",
     "grid_search_wsvm",
     "kfold_indices",
+    "PrecomputedKernel",
     "gaussian_kernel",
     "linear_kernel",
     "make_kernel",
@@ -23,6 +25,7 @@ __all__ = [
     "ConfusionMatrix",
     "accuracy",
     "Standardizer",
+    "ConvergenceWarning",
     "KernelSVM",
     "WeightedSVM",
 ]

@@ -13,10 +13,30 @@ used (DESIGN.md §1).
 The solver is Platt's SMO with the max-|ΔE| second-choice heuristic, a
 full decision-value cache updated incrementally after every pair step,
 and a seeded tie-break RNG so training is deterministic.
+
+Partner selection has two implementations selected by ``partner_rule``:
+
+``"reference"``
+    The original scalar loop: sort partners by |ΔE| and attempt
+    ``_take_step`` on each until one succeeds.  Failed attempts never
+    mutate state, so success of a candidate is order-independent.
+``"vectorized"`` (default)
+    Evaluates every candidate's step guards (clip window, curvature,
+    minimum α move) in one pass of array ops and jumps straight to the
+    partner the reference loop would have committed.  Because the guard
+    arithmetic is elementwise-identical and the tie-break RNG is
+    consumed in exactly the same situations, the two rules produce
+    bit-identical models; the vectorized rule just skips the thousands
+    of doomed scalar step attempts that dominate reference wall time.
+
+``fit``/``decision_function`` also accept a precomputed Gram matrix so
+grid searches can slice one cached kernel instead of re-kernelizing
+features per CV cell (see :class:`repro.learning.kernels.PrecomputedKernel`).
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 import numpy as np
@@ -25,9 +45,20 @@ from repro.learning.kernels import Kernel, linear_kernel
 
 _EPS = 1e-8
 
+_PARTNER_RULES = ("vectorized", "reference")
+
+
+class ConvergenceWarning(UserWarning):
+    """SMO stopped at the sweep cap before reaching KKT stationarity."""
+
 
 class KernelSVM:
-    """Binary kernel SVM (labels must be ±1) trained by SMO."""
+    """Binary kernel SVM (labels must be ±1) trained by SMO.
+
+    After :meth:`fit`, solver health is exposed as ``n_sweeps_`` (outer
+    sweeps executed) and ``converged_`` (False when the ``max_sweeps``
+    cap cut optimization short; a :class:`ConvergenceWarning` is issued).
+    """
 
     def __init__(
         self,
@@ -37,32 +68,56 @@ class KernelSVM:
         max_passes: int = 5,
         max_sweeps: int = 200,
         seed: int = 0,
+        partner_rule: str = "vectorized",
     ):
+        if partner_rule not in _PARTNER_RULES:
+            raise ValueError(f"partner_rule must be one of {_PARTNER_RULES}")
         self.kernel = kernel or linear_kernel
         self.C = C
         self.tol = tol
         self.max_passes = max_passes
         self.max_sweeps = max_sweeps
         self.seed = seed
+        self.partner_rule = partner_rule
         self.alpha: Optional[np.ndarray] = None
         self.b: float = 0.0
+        self._b: float = 0.0
+        self.n_sweeps_: int = 0
+        self.converged_: bool = False
         self._sv_X: Optional[np.ndarray] = None
         self._sv_coef: Optional[np.ndarray] = None
 
     # -- training ------------------------------------------------------
     def fit(
         self,
-        X: np.ndarray,
+        X: Optional[np.ndarray],
         y: np.ndarray,
         sample_C: Optional[np.ndarray] = None,
+        gram: Optional[np.ndarray] = None,
     ) -> "KernelSVM":
-        X = np.asarray(X, dtype=float)
+        """Train on ``(X, y)``, or on a precomputed ``gram`` matrix.
+
+        When ``gram`` (the full ``(n, n)`` kernel matrix of the training
+        set) is given, the kernel callable is not invoked; ``X`` may then
+        be omitted, in which case prediction must also go through
+        ``gram=`` cross-kernel matrices.
+        """
         y = np.asarray(y, dtype=float).reshape(-1)
-        if X.ndim != 2 or len(X) != len(y):
-            raise ValueError("X must be (n, d) with one label per row")
+        n = len(y)
+        if X is not None:
+            X = np.asarray(X, dtype=float)
+            if X.ndim != 2 or len(X) != n:
+                raise ValueError("X must be (n, d) with one label per row")
         if not np.all(np.isin(y, (-1.0, 1.0))):
             raise ValueError("labels must be ±1")
-        n = len(y)
+        if gram is None:
+            if X is None:
+                raise ValueError("fit needs X when no precomputed gram is given")
+            K = self.kernel(X, X)
+        else:
+            K = np.asarray(gram, dtype=float)
+            if K.shape != (n, n):
+                raise ValueError(f"gram must be ({n}, {n}), got {K.shape}")
         if sample_C is None:
             C_vec = np.full(n, float(self.C))
         else:
@@ -73,12 +128,13 @@ class KernelSVM:
                 raise ValueError("sample_C must be non-negative")
 
         rng = np.random.default_rng(self.seed)
-        K = self.kernel(X, X)
+        K_diag = K.diagonal()
         alpha = np.zeros(n)
         self._b = 0.0
         # decision values without the intercept: f[i] = Σ αⱼyⱼK[j, i]
         f = np.zeros(n)
         active = np.flatnonzero(C_vec > _EPS)
+        vectorized = self.partner_rule == "vectorized"
 
         passes = 0
         sweeps = 0
@@ -93,13 +149,22 @@ class KernelSVM:
                     or (r > self.tol and alpha[i] > _EPS)
                 ):
                     continue
-                # Platt's second-choice hierarchy: try partners in
-                # decreasing |E_i − E_j| order until one step succeeds —
-                # the single best j can be stuck at a bound.
+                # Platt's second-choice hierarchy: partners in decreasing
+                # |E_i − E_j| order until one step succeeds — the single
+                # best j can be stuck at a bound.
                 E = f + b - y
                 gaps = np.abs(E - E_i)
                 gaps[i] = -1.0
                 gaps[C_vec <= _EPS] = -1.0
+                if vectorized:
+                    j = self._select_partner(
+                        i, K, K_diag, y, alpha, C_vec, E, E_i, gaps, rng
+                    )
+                    if j >= 0 and self._take_step(
+                        i, j, K, y, alpha, C_vec, f, E_i, E[j]
+                    ):
+                        changed += 1
+                    continue
                 order = np.argsort(-gaps, kind="stable")
                 # break exact ties randomly so degenerate problems
                 # cannot cycle; the rng is seeded, so still deterministic
@@ -125,10 +190,71 @@ class KernelSVM:
         self.alpha = alpha
         self.b = b
         support = alpha > _EPS
-        self._sv_X = X[support]
+        self._sv_X = X[support] if X is not None else None
         self._sv_coef = alpha[support] * y[support]
         self.support_ = np.flatnonzero(support)
+        self.n_sweeps_ = sweeps
+        self.converged_ = passes >= self.max_passes
+        if not self.converged_:
+            warnings.warn(
+                f"SMO hit the max_sweeps cap ({self.max_sweeps}) before "
+                "converging; the model may be suboptimal",
+                ConvergenceWarning,
+                stacklevel=2,
+            )
         return self
+
+    def _select_partner(
+        self, i, K, K_diag, y, alpha, C_vec, E, E_i, gaps, rng
+    ) -> int:
+        """The partner the reference scalar loop would commit, or −1.
+
+        A failed ``_take_step`` never mutates state, so whether a given j
+        succeeds is independent of attempt order; evaluating the three
+        step guards for every candidate at once and picking the best
+        survivor reproduces the reference walk exactly.  The tie-break
+        shuffle consumes the RNG in the same situations as the reference
+        (top-two gaps equal), keeping the random stream aligned.
+        """
+        n = len(gaps)
+        order = None
+        if n > 1:
+            j_top = int(np.argmax(gaps))
+            if np.count_nonzero(gaps == gaps[j_top]) > 1:
+                order = np.argsort(-gaps, kind="stable")
+                order = order.copy()
+                rng.shuffle(order)
+                order = order[np.argsort(-gaps[order], kind="stable")]
+        ok = gaps >= 0.0
+        if not ok.any():
+            return -1
+        # Clip window [L, H] per candidate (elementwise the same
+        # arithmetic as the scalar _take_step guards).
+        same_label = y == y[i]
+        total = alpha + alpha[i]
+        gamma = alpha - alpha[i]
+        L = np.where(
+            same_label, np.maximum(0.0, total - C_vec[i]), np.maximum(0.0, gamma)
+        )
+        H = np.where(
+            same_label, np.minimum(C_vec, total), np.minimum(C_vec, gamma + C_vec[i])
+        )
+        ok &= L < H - _EPS
+        eta = 2.0 * K[i] - K[i, i] - K_diag
+        ok &= eta < -_EPS
+        if not ok.any():
+            return -1
+        safe_eta = np.where(ok, eta, -1.0)
+        a_new = np.clip(alpha - y * (E_i - E) / safe_eta, L, H)
+        ok &= np.abs(a_new - alpha) >= _EPS
+        candidates = np.flatnonzero(ok)
+        if not len(candidates):
+            return -1
+        if order is None:
+            # stable descending gap order ⇒ largest gap, lowest index
+            return int(candidates[np.argmax(gaps[candidates])])
+        hits = np.flatnonzero(ok[order])
+        return int(order[hits[0]])
 
     def _take_step(self, i, j, K, y, alpha, C_vec, f, E_i, E_j) -> bool:
         if i == j:
@@ -164,14 +290,36 @@ class KernelSVM:
         return True
 
     # -- inference -----------------------------------------------------
-    def decision_function(self, X: np.ndarray) -> np.ndarray:
-        if self._sv_X is None:
+    def decision_function(
+        self, X: Optional[np.ndarray] = None, gram: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Decision values for ``X``, or for a precomputed cross-kernel
+        ``gram`` of shape ``(m, n_train)`` against the training set."""
+        if self.alpha is None:
             raise RuntimeError("KernelSVM.decision_function before fit")
+        if gram is not None:
+            gram = np.asarray(gram, dtype=float)
+            if gram.ndim != 2 or gram.shape[1] != len(self.alpha):
+                raise ValueError(
+                    f"gram must be (m, {len(self.alpha)}), got {gram.shape}"
+                )
+            if len(self.support_) == 0:
+                return np.full(len(gram), self.b)
+            return gram[:, self.support_] @ self._sv_coef + self.b
+        if X is None:
+            raise ValueError("decision_function needs X or gram")
+        if self._sv_X is None:
+            raise RuntimeError(
+                "model was fit from a precomputed gram without X; "
+                "pass gram= to decision_function/predict"
+            )
         X = np.asarray(X, dtype=float)
         if len(self._sv_X) == 0:
             return np.full(len(X), self.b)
         return self.kernel(X, self._sv_X) @ self._sv_coef + self.b
 
-    def predict(self, X: np.ndarray) -> np.ndarray:
-        scores = self.decision_function(X)
+    def predict(
+        self, X: Optional[np.ndarray] = None, gram: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        scores = self.decision_function(X, gram=gram)
         return np.where(scores >= 0.0, 1.0, -1.0)

@@ -28,6 +28,7 @@ class WeightedSVM(KernelSVM):
         max_passes: int = 5,
         max_sweeps: int = 200,
         seed: int = 0,
+        partner_rule: str = "vectorized",
     ):
         super().__init__(
             kernel=kernel,
@@ -36,14 +37,16 @@ class WeightedSVM(KernelSVM):
             max_passes=max_passes,
             max_sweeps=max_sweeps,
             seed=seed,
+            partner_rule=partner_rule,
         )
         self.lam = lam
 
     def fit(
         self,
-        X: np.ndarray,
+        X: Optional[np.ndarray],
         y: np.ndarray,
         c: Optional[np.ndarray] = None,
+        gram: Optional[np.ndarray] = None,
     ) -> "WeightedSVM":
         """Train with importances ``c`` (default: all ones = plain SVM)."""
         n = len(np.asarray(y).reshape(-1))
@@ -54,5 +57,5 @@ class WeightedSVM(KernelSVM):
             raise ValueError("c length mismatch")
         if np.any(c < 0) or np.any(c > 1 + 1e-12):
             raise ValueError("importances must lie in [0, 1]")
-        super().fit(X, y, sample_C=self.lam * c)
+        super().fit(X, y, sample_C=self.lam * c, gram=gram)
         return self

@@ -1,6 +1,5 @@
 """Public API surface: README imports, config validation, tiny pipeline."""
 
-import numpy as np
 import pytest
 
 import repro
@@ -33,6 +32,10 @@ class TestConfigValidation:
             {"lam_grid": ()},
             {"sigma2_grid": ()},
             {"max_train_windows": -1},
+            {"n_jobs": 0},
+            {"cv_executor": "coroutine"},
+            # folds < 2 cannot pick among multiple grid points
+            {"cv_folds": 0, "lam_grid": (1.0, 2.0)},
         ],
     )
     def test_rejects_bad_values(self, kwargs):

@@ -1,0 +1,61 @@
+"""Bench harness smoke test (slow): runs bench_train.py --quick on the
+smallest complete cached dataset and validates the emitted JSON schema."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from tests.conftest import REPO_ROOT
+
+pytestmark = pytest.mark.slow
+
+REQUIRED_DATASET_KEYS = {
+    "dataset", "dataset_dir", "seed", "n_train_windows", "grid_cells",
+    "train_total_s", "stages_s", "grid", "solver", "acc",
+}
+REQUIRED_GRID_KEYS = {
+    "naive_s", "fast_s", "speedup", "final_fit_naive_s", "final_fit_fast_s",
+    "selected", "identical_selection", "decisions_bit_identical",
+}
+REQUIRED_STAGES = {
+    "parse", "cfg_inference", "weights", "featurize", "grid_search", "final_fit",
+}
+
+
+def test_bench_train_quick_emits_valid_json(data_dir, tmp_path):
+    output = tmp_path / "BENCH_train.json"
+    env = {**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")}
+    completed = subprocess.run(
+        [
+            sys.executable,
+            str(REPO_ROOT / "benchmarks" / "bench_train.py"),
+            "--quick",
+            "--datasets", "notepad++_reverse_tcp_online",
+            "--output", str(output),
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+
+    payload = json.loads(output.read_text())
+    assert payload["schema"] == "leaps-bench-train/v1"
+    assert {"created_utc", "host", "config", "datasets", "summary"} <= set(payload)
+    assert payload["summary"]["datasets"] == 1
+    assert payload["summary"]["min_grid_speedup"] > 0
+
+    (dataset,) = payload["datasets"]
+    assert REQUIRED_DATASET_KEYS <= set(dataset)
+    assert REQUIRED_GRID_KEYS <= set(dataset["grid"])
+    assert REQUIRED_STAGES <= set(dataset["stages_s"])
+    assert all(seconds >= 0 for seconds in dataset["stages_s"].values())
+    # the harness aborts on divergence, but assert the recorded verdicts too
+    assert dataset["grid"]["identical_selection"] is True
+    assert dataset["grid"]["decisions_bit_identical"] is True
+    assert 0.0 <= dataset["acc"]["overall"] <= 1.0

@@ -131,12 +131,21 @@ class TestGridSearch:
         assert (result.lam, result.sigma2) == (1.0, 2.0)
         assert np.isnan(result.score)
 
-    def test_cv_disabled_uses_first_combo(self, toy):
+    def test_single_combo_ignores_disabled_cv(self, toy):
         X, y = toy
         result = grid_search_wsvm(
-            X, y, None, (5.0, 1.0), (3.0, 2.0), folds=0, rng=np.random.default_rng(0)
+            X, y, None, (5.0,), (3.0,), folds=0, rng=np.random.default_rng(0)
         )
         assert (result.lam, result.sigma2) == (5.0, 3.0)
+
+    def test_disabled_cv_with_multi_combo_grid_rejected(self, toy):
+        """folds < 2 used to silently return combos[0]; it must raise."""
+        X, y = toy
+        with pytest.raises(ValueError, match="folds"):
+            grid_search_wsvm(
+                X, y, None, (5.0, 1.0), (3.0, 2.0), folds=0,
+                rng=np.random.default_rng(0),
+            )
 
     def test_full_search_scores_every_combo(self, toy):
         X, y = toy
