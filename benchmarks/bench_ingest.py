@@ -1,0 +1,170 @@
+"""Ingestion benchmark: parse-policy throughput + streaming-scan memory.
+
+Measures, over cached golden logs:
+
+1. parser throughput (lines/s, events/s) under ``strict`` and ``drop``
+   policies — the recovery bookkeeping must not meaningfully tax the
+   clean-log fast path;
+2. recovery throughput on a fault-injected variant (every mutator from
+   ``tests/faults.py`` applied to the same log) plus the ParseReport
+   accounting check;
+3. streaming scan vs batch scan wall time and result equivalence on a
+   trained detector.
+
+Usage (from the repo root):
+
+    PYTHONPATH=src python benchmarks/bench_ingest.py
+    PYTHONPATH=src python benchmarks/bench_ingest.py \
+        --dataset notepad++_reverse_tcp_online --repeats 5 \
+        --output BENCH_ingest.json
+
+Emits ``BENCH_ingest.json`` (schema: see benchmarks/README.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DATA_DIR = REPO_ROOT / "benchmarks" / ".data"
+sys.path.insert(0, str(REPO_ROOT))  # for tests.faults
+
+from repro.core.config import LeapsConfig  # noqa: E402
+from repro.core.detector import LeapsDetector  # noqa: E402
+from repro.etw.parser import iter_parse, parse_with_report  # noqa: E402
+
+from tests.faults import fault_corpus  # noqa: E402
+
+SCHEMA = "leaps-bench-ingest/v1"
+DEFAULT_DATASET = "notepad++_reverse_tcp_online"
+
+
+def resolve_dataset(name: str, seed: int = 0) -> Path:
+    matches = sorted(DATA_DIR.glob(f"{name}-s{seed}-*"))
+    if not matches:
+        raise SystemExit(f"dataset {name!r} not in {DATA_DIR}")
+    return matches[0]
+
+
+def best_of(repeats: int, fn) -> float:
+    return min(
+        (lambda t0: (fn(), time.perf_counter() - t0)[1])(time.perf_counter())
+        for _ in range(repeats)
+    )
+
+
+def bench_parse(lines, repeats):
+    n_events = sum(1 for _ in iter_parse(lines))
+    out = {"lines": len(lines), "events": n_events}
+    for policy in ("strict", "drop"):
+        seconds = best_of(
+            repeats, lambda: sum(1 for _ in iter_parse(lines, policy=policy))
+        )
+        out[policy] = {
+            "seconds": seconds,
+            "lines_per_s": len(lines) / seconds,
+            "events_per_s": n_events / seconds,
+        }
+    out["drop_overhead_pct"] = 100.0 * (
+        out["drop"]["seconds"] / out["strict"]["seconds"] - 1.0
+    )
+    return out
+
+
+def bench_recovery(lines, repeats):
+    variants = fault_corpus(lines, seed=0)
+    out = {}
+    for variant in variants:
+        events, report = parse_with_report(variant.lines, policy="drop")
+        if report.lines_accounted != report.total_lines:
+            raise SystemExit(f"{variant.name}: line accounting broken")
+        seconds = best_of(
+            repeats,
+            lambda: parse_with_report(variant.lines, policy="drop"),
+        )
+        out[variant.name] = {
+            "lines": len(variant.lines),
+            "events_recovered": len(events),
+            "events_dropped": report.events_dropped,
+            "issues": report.n_issues,
+            "seconds": seconds,
+            "lines_per_s": len(variant.lines) / seconds,
+        }
+    return out
+
+
+def bench_scan(dataset: Path, repeats):
+    config = LeapsConfig(
+        lam_grid=(1.0,), sigma2_grid=(30.0,), cv_folds=0,
+        max_train_windows=400, seed=0,
+    )
+    detector = LeapsDetector(config)
+    detector.train_from_logs(
+        (dataset / "benign.log").read_text().splitlines(),
+        (dataset / "mixed.log").read_text().splitlines(),
+    )
+    lines = (dataset / "malicious.log").read_text().splitlines()
+    batch = detector.scan_log(lines)
+    stream = list(detector.scan_stream(iter(lines)))
+    if stream != batch:
+        raise SystemExit("scan_stream diverged from scan_log")
+    return {
+        "windows": len(batch),
+        "batch_seconds": best_of(repeats, lambda: detector.scan_log(lines)),
+        "stream_seconds": best_of(
+            repeats, lambda: list(detector.scan_stream(iter(lines)))
+        ),
+        "flagged": sum(1 for d in batch if d.malicious),
+    }
+
+
+def main() -> None:
+    argp = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    argp.add_argument("--dataset", default=DEFAULT_DATASET)
+    argp.add_argument("--repeats", type=int, default=3)
+    argp.add_argument("--output", default=str(REPO_ROOT / "BENCH_ingest.json"))
+    args = argp.parse_args()
+
+    dataset = resolve_dataset(args.dataset)
+    lines = (dataset / "mixed.log").read_text().splitlines()
+
+    result = {
+        "schema": SCHEMA,
+        "created_utc": datetime.now(timezone.utc).isoformat(),
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "dataset": dataset.name,
+        "repeats": args.repeats,
+        "parse": bench_parse(lines, args.repeats),
+        "recovery": bench_recovery(lines, args.repeats),
+        "scan": bench_scan(dataset, args.repeats),
+    }
+
+    Path(args.output).write_text(json.dumps(result, indent=2) + "\n")
+    parse = result["parse"]
+    print(
+        f"{dataset.name}: strict {parse['strict']['lines_per_s']:,.0f} lines/s, "
+        f"drop {parse['drop']['lines_per_s']:,.0f} lines/s "
+        f"({parse['drop_overhead_pct']:+.1f}%)"
+    )
+    scan = result["scan"]
+    print(
+        f"scan: batch {scan['batch_seconds']:.3f}s, "
+        f"stream {scan['stream_seconds']:.3f}s over {scan['windows']} windows"
+    )
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -8,7 +8,16 @@ Public entry points::
 from repro.core.config import LeapsConfig
 from repro.core.detector import LeapsDetector, WindowDetection
 from repro.core.pipeline import TrainingReport
+from repro.etw.recovery import ParseErrorKind, ParseReport
 
 __version__ = "0.1.0"
 
-__all__ = ["LeapsConfig", "LeapsDetector", "WindowDetection", "TrainingReport", "__version__"]
+__all__ = [
+    "LeapsConfig",
+    "LeapsDetector",
+    "WindowDetection",
+    "TrainingReport",
+    "ParseErrorKind",
+    "ParseReport",
+    "__version__",
+]

@@ -20,6 +20,15 @@ class LeapsConfig:
     window_events: int = 10
     stride: int = 5
 
+    # -- ingestion
+    #: raw-log parse policy: "strict" raises on the first malformed
+    #: line; "warn"/"drop" classify, record in a ParseReport, and
+    #: resynchronize at the next well-formed EVENT line (DESIGN.md §8)
+    parse_policy: str = "strict"
+    #: windows buffered per scoring batch in score_stream/scan_stream —
+    #: the streaming-scan memory bound alongside the event deque
+    stream_chunk_windows: int = 256
+
     # -- weighting
     #: use CFG-guided per-sample weights (False = plain-SVM baseline)
     weighted: bool = True
@@ -56,6 +65,10 @@ class LeapsConfig:
             raise ValueError("stride must be >= 1")
         if self.window_weight_agg not in ("mean", "max"):
             raise ValueError("window_weight_agg must be 'mean' or 'max'")
+        if self.parse_policy not in ("strict", "warn", "drop"):
+            raise ValueError("parse_policy must be 'strict', 'warn' or 'drop'")
+        if self.stream_chunk_windows < 1:
+            raise ValueError("stream_chunk_windows must be >= 1")
         if not self.lam_grid or not self.sigma2_grid:
             raise ValueError("lam_grid and sigma2_grid must be non-empty")
         if self.cv_folds < 2 and len(self.lam_grid) * len(self.sigma2_grid) > 1:

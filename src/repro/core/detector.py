@@ -4,16 +4,27 @@
 >>> detector.train_from_logs(benign_lines, mixed_lines)
 >>> detections = detector.scan_log(production_lines)
 >>> flagged, total = detector.alert_summary(detections)
+
+For whole-machine logs that do not fit in RAM, scan a line iterator
+incrementally — with a recovering parse policy and a ParseReport to
+account for every corrupt line:
+
+>>> report = ParseReport()
+>>> for detection in detector.scan_stream(open(path), report=report,
+...                                       policy="drop"):
+...     handle(detection)
+>>> report.events_dropped, report.truncated_tail
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.cfg_inference import CFG
 from repro.core.config import LeapsConfig
 from repro.core.pipeline import LeapsPipeline, TrainingReport
+from repro.etw.recovery import ParseReport
 
 
 @dataclass(frozen=True)
@@ -59,8 +70,25 @@ class LeapsDetector:
 
     # -- scanning ------------------------------------------------------
     def scan_log(self, lines: Iterable[str]) -> List[WindowDetection]:
-        windows, scores = self.pipeline.score_log(lines)
-        return [
+        """Scan a complete log; thin wrapper draining :meth:`scan_stream`."""
+        return list(self.scan_stream(lines))
+
+    def scan_stream(
+        self,
+        lines: Iterable[str],
+        report: Optional[ParseReport] = None,
+        policy: Optional[str] = None,
+    ) -> Iterator[WindowDetection]:
+        """Stream :class:`WindowDetection` verdicts off a raw-log line
+        iterator with bounded memory (see ``LeapsPipeline.score_stream``).
+
+        ``policy`` overrides the config's ``parse_policy`` for this scan
+        (``"drop"``/``"warn"`` recover from corrupt lines); pass a
+        :class:`ParseReport` to account for what recovery kept, dropped,
+        and classified.
+        """
+        scored = self.pipeline.score_stream(lines, report=report, policy=policy)
+        return (
             WindowDetection(
                 index=window.start_index,
                 start_eid=window.start_eid,
@@ -68,8 +96,8 @@ class LeapsDetector:
                 score=float(score),
                 malicious=bool(score < 0.0),
             )
-            for window, score in zip(windows, scores)
-        ]
+            for window, score in scored
+        )
 
     @staticmethod
     def alert_summary(detections: Sequence[WindowDetection]) -> Tuple[int, int]:

@@ -16,20 +16,27 @@ time is recorded in ``TrainingReport.stage_seconds``.
 
 Scanning:  featurize a production log with the *training* vocabularies
 and score each window; negative decision values are malicious windows.
+The streaming path (:meth:`LeapsPipeline.score_stream`) consumes a raw
+line iterator with bounded memory — a deque of at most
+``window_events`` pending events inside the coalescer plus at most
+``stream_chunk_windows`` buffered windows per scoring batch — so
+whole-machine logs never need to fit in RAM; :meth:`score_log` and the
+detector's ``scan_log`` are thin wrappers that drain it.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.cfg_inference import CFG, CFGInferencer
 from repro.core.config import LeapsConfig
 from repro.core.weights import WeightAssessor
-from repro.etw.parser import RawLogParser
+from repro.etw.parser import RawLogParser, iter_parse
+from repro.etw.recovery import ParseReport
 from repro.etw.stack_partition import StackPartitioner
 from repro.learning.cross_validation import GridResult, grid_search_wsvm
 from repro.learning.kernels import PrecomputedKernel, gaussian_kernel
@@ -83,7 +90,7 @@ class LeapsPipeline:
 
     def __init__(self, config: Optional[LeapsConfig] = None):
         self.config = config or LeapsConfig()
-        self.parser = RawLogParser()
+        self.parser = RawLogParser(policy=self.config.parse_policy)
         self.partitioner = StackPartitioner()
         self.inferencer = CFGInferencer()
         self.coalescer = WindowCoalescer(
@@ -262,10 +269,62 @@ class LeapsPipeline:
         return windows, self.standardizer.transform(matrix)
 
     def score_log(self, lines: Iterable[str]) -> Tuple[List[Window], np.ndarray]:
-        """Decision values per window (negative ⇒ malicious)."""
+        """Decision values per window (negative ⇒ malicious).
+
+        Thin wrapper draining :meth:`score_stream`."""
+        scored = list(self.score_stream(lines))
+        if not scored:
+            return [], np.zeros(0)
+        windows, scores = zip(*scored)
+        return list(windows), np.asarray(scores)
+
+    def score_stream(
+        self,
+        lines: Iterable[str],
+        report: Optional[ParseReport] = None,
+        policy: Optional[str] = None,
+    ) -> Iterator[Tuple[Window, float]]:
+        """Stream ``(window, decision_value)`` pairs off a raw-log line
+        iterator with bounded memory.
+
+        Events are parsed, featurized, and coalesced incrementally (the
+        coalescer holds at most ``window_events`` pending events); at
+        most ``stream_chunk_windows`` completed windows are buffered
+        before each batched kernel evaluation.  ``report``/``policy``
+        expose the recovering-ingestion knobs; the default policy is the
+        config's ``parse_policy``.
+        """
         if self.model is None:
             raise NotTrainedError("pipeline has not been trained")
-        windows, matrix = self.featurize_log(lines)
-        if not windows:
-            return [], np.zeros(0)
-        return windows, self.model.decision_function(matrix)
+        if self.featurizer is None or self.standardizer is None:
+            raise NotTrainedError("pipeline has not been trained")
+        return self._score_stream(lines, report, policy or self.parser.policy)
+
+    def _score_stream(
+        self,
+        lines: Iterable[str],
+        report: Optional[ParseReport],
+        policy: str,
+    ) -> Iterator[Tuple[Window, float]]:
+        events = iter_parse(lines, policy=policy, report=report)
+        pairs = (
+            (event, self.featurizer.transform_event(event)) for event in events
+        )
+        chunk = self.config.stream_chunk_windows
+        pending: List[Window] = []
+        for window in self.coalescer.iter_coalesce(pairs):
+            pending.append(window)
+            if len(pending) >= chunk:
+                yield from self._score_windows(pending)
+                pending = []
+        if pending:
+            yield from self._score_windows(pending)
+
+    def _score_windows(
+        self, windows: List[Window]
+    ) -> Iterator[Tuple[Window, float]]:
+        matrix = self.standardizer.transform(
+            np.stack([window.vector for window in windows])
+        )
+        scores = self.model.decision_function(matrix)
+        return zip(windows, scores)

@@ -2,11 +2,19 @@
 
 from repro.etw.events import EventRecord, FrameNode, StackFrame
 from repro.etw.parser import (
+    PARSE_POLICIES,
     ParseError,
     RawLogParser,
     iter_parse,
+    parse_with_report,
     serialize_event,
     serialize_events,
+)
+from repro.etw.recovery import (
+    ParseErrorKind,
+    ParseIssue,
+    ParseReport,
+    ParseWarning,
 )
 from repro.etw.stack_partition import (
     StackPartitioner,
@@ -20,9 +28,15 @@ __all__ = [
     "EventRecord",
     "FrameNode",
     "StackFrame",
+    "PARSE_POLICIES",
     "ParseError",
+    "ParseErrorKind",
+    "ParseIssue",
+    "ParseReport",
+    "ParseWarning",
     "RawLogParser",
     "iter_parse",
+    "parse_with_report",
     "serialize_event",
     "serialize_events",
     "StackPartitioner",

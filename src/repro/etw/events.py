@@ -15,6 +15,22 @@ from typing import Iterator, Tuple
 FrameNode = Tuple[str, str]
 
 
+def _check_field(owner: str, name: str, value: str) -> None:
+    """Reject values the pipe-delimited raw-log format cannot represent.
+
+    A raw ``|`` (or newline) inside a string field would serialize into
+    extra fields and make ``iter_parse(serialize_event(e))`` fail with a
+    field-count error; catching it at construction time turns a silent
+    round-trip corruption into an immediate, clear error.
+    """
+    if "|" in value or "\n" in value or "\r" in value:
+        raise ValueError(
+            f"{owner}.{name} {value!r} contains a raw-log delimiter "
+            "('|' or newline); these characters cannot round-trip through "
+            "the pipe-delimited ETL format"
+        )
+
+
 @dataclass(frozen=True)
 class StackFrame:
     """One frame of a stack walk.
@@ -27,6 +43,10 @@ class StackFrame:
     module: str
     function: str
     address: int
+
+    def __post_init__(self):
+        _check_field("StackFrame", "module", self.module)
+        _check_field("StackFrame", "function", self.function)
 
     @property
     def node(self) -> FrameNode:
@@ -47,6 +67,11 @@ class EventRecord:
     opcode: int
     name: str
     frames: Tuple[StackFrame, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        _check_field("EventRecord", "process", self.process)
+        _check_field("EventRecord", "category", self.category)
+        _check_field("EventRecord", "name", self.name)
 
     @property
     def etype(self) -> Tuple[str, int, str]:

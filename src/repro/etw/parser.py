@@ -11,20 +11,49 @@ toward the kernel.  ``address`` is hexadecimal (``0x...``).
 
 The parser is the Introperf-like front end of the paper's workflow: it
 correlates stack walks with their events and slices per process.
+
+Parsing runs under one of three policies (DESIGN.md §8):
+
+* ``"strict"`` (default) — the first structurally invalid line raises
+  :class:`ParseError`, exactly as historical behaviour;
+* ``"warn"`` — every invalid line is classified
+  (:class:`~repro.etw.recovery.ParseErrorKind`), recorded in a
+  :class:`~repro.etw.recovery.ParseReport`, emitted as a
+  :class:`~repro.etw.recovery.ParseWarning`, and the parser
+  resynchronizes at the next well-formed ``EVENT`` line;
+* ``"drop"`` — like ``"warn"`` without the warnings.
+
+Recovery drops the event whose stack block the error corrupted (its
+already-consumed lines are accounted as discarded) and skips lines
+until the next well-formed ``EVENT`` line.  An unknown record tag does
+not discard the open event — a stray foreign line between two event
+blocks must not lose the completed event before it.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Sequence
+import warnings
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.etw.events import EventRecord, StackFrame
+from repro.etw.recovery import (
+    ParseErrorKind,
+    ParseReport,
+    ParseWarning,
+)
 
 
 class ParseError(ValueError):
     """Raised on a structurally invalid raw-log line."""
 
-    def __init__(self, message: str, lineno: Optional[int] = None):
+    def __init__(
+        self,
+        message: str,
+        lineno: Optional[int] = None,
+        kind: Optional[ParseErrorKind] = None,
+    ):
         self.lineno = lineno
+        self.kind = kind
         if lineno is not None:
             message = f"line {lineno}: {message}"
         super().__init__(message)
@@ -33,92 +62,336 @@ class ParseError(ValueError):
 _EVENT_FIELDS = 9
 _STACK_FIELDS = 6
 
+PARSE_POLICIES = ("strict", "warn", "drop")
 
-def iter_parse(lines: Iterable[str]) -> Iterator[EventRecord]:
+
+def _event_from_fields(fields: Sequence[str]) -> EventRecord:
+    """Build an :class:`EventRecord` from a split EVENT line; raises
+    ``ValueError`` on any non-numeric numeric field."""
+    return EventRecord(
+        eid=int(fields[1]),
+        timestamp=int(fields[2]),
+        pid=int(fields[3]),
+        process=fields[4],
+        tid=int(fields[5]),
+        category=fields[6],
+        opcode=int(fields[7]),
+        name=fields[8],
+    )
+
+
+def iter_parse(
+    lines: Iterable[str],
+    *,
+    policy: str = "strict",
+    report: Optional[ParseReport] = None,
+    require_complete_tail: bool = False,
+) -> Iterator[EventRecord]:
     """Stream :class:`EventRecord` objects out of raw log lines.
 
     Stack–event correlation is enforced: a ``STACK`` line whose ``eid``
     does not match the preceding ``EVENT`` is an error, as is a ``STACK``
     line with no event to attach to or a non-contiguous frame index.
+
+    ``policy`` selects strict (raise) or recovering (warn/drop)
+    behaviour; ``report`` is an optional :class:`ParseReport` filled in
+    as lines are consumed (usable under every policy).  With
+    ``require_complete_tail=True`` a log that ends mid-stack-walk raises
+    in strict mode and drops the suspect final event in recovering
+    modes; otherwise the short-stacked final event is yielded and only
+    ``ParseReport.truncated_tail`` signals the condition.
     """
+    if policy not in PARSE_POLICIES:
+        raise ValueError(
+            f"unknown parse policy {policy!r}; expected one of {PARSE_POLICIES}"
+        )
+    return _iter_parse(
+        lines,
+        policy,
+        report if report is not None else ParseReport(),
+        require_complete_tail,
+    )
+
+
+def _iter_parse(
+    lines: Iterable[str],
+    policy: str,
+    report: ParseReport,
+    require_complete_tail: bool,
+) -> Iterator[EventRecord]:
+    strict = policy == "strict"
     current: Optional[EventRecord] = None
     frames: List[StackFrame] = []
+    #: lines consumed by the open event (its EVENT line + stack lines)
+    pending = 0
+    #: resynchronizing: discard lines until the next well-formed EVENT
+    skipping = False
+    #: shallowest completed stack walk per etype — the truncated-tail
+    #: heuristic: a final walk shallower than *every* complete walk seen
+    #: for its etype is suspect; one at a previously-seen depth is a
+    #: legitimate ending (stack depths vary naturally per call site)
+    depths: dict = {}
+    lineno = 0
+
+    def issue(kind: ParseErrorKind, message: str, num: int) -> None:
+        report.record(kind, num, message)
+        report.error_lines += 1
+        if policy == "warn":
+            warnings.warn(f"line {num}: {message}", ParseWarning, stacklevel=4)
+
+    def finish(event: EventRecord, walk: List[StackFrame]) -> EventRecord:
+        report.events_yielded += 1
+        known = depths.get(event.etype)
+        if known is None or len(walk) < known:
+            depths[event.etype] = len(walk)
+        return event.with_frames(walk)
+
+    def drop_current() -> None:
+        nonlocal current, frames, pending
+        if current is not None:
+            report.discarded_lines += pending
+            report.events_dropped += 1
+            current, frames, pending = None, [], 0
+
     for lineno, raw in enumerate(lines, start=1):
+        report.total_lines += 1
         line = raw.rstrip("\n")
         if not line.strip():
+            report.blank_lines += 1
             continue
         fields = line.split("|")
         tag = fields[0]
+
+        if skipping:
+            # Resynchronize at the next well-formed EVENT line; everything
+            # until then belongs to the corrupt region and is discarded
+            # (without recording further issues for the same region).
+            if tag == "EVENT" and len(fields) == _EVENT_FIELDS:
+                try:
+                    candidate = _event_from_fields(fields)
+                except ValueError:
+                    candidate = None
+                if candidate is not None:
+                    if current is not None:
+                        report.consumed_lines += pending
+                        yield finish(current, frames)
+                    skipping = False
+                    current, frames, pending = candidate, [], 1
+                    continue
+            if tag == "EVENT":
+                report.events_dropped += 1
+            report.discarded_lines += 1
+            continue
+
         if tag == "EVENT":
             if len(fields) != _EVENT_FIELDS:
-                raise ParseError(
-                    f"EVENT needs {_EVENT_FIELDS} fields, got {len(fields)}", lineno
-                )
+                message = f"EVENT needs {_EVENT_FIELDS} fields, got {len(fields)}"
+                if strict:
+                    raise ParseError(message, lineno, kind=ParseErrorKind.BAD_FIELD)
+                # The previous event is complete; the malformed one is lost.
+                if current is not None:
+                    report.consumed_lines += pending
+                    yield finish(current, frames)
+                    current, frames, pending = None, [], 0
+                issue(ParseErrorKind.BAD_FIELD, message, lineno)
+                report.events_dropped += 1
+                skipping = True
+                continue
             if current is not None:
-                yield current.with_frames(frames)
+                report.consumed_lines += pending
+                yield finish(current, frames)
+                current, frames, pending = None, [], 0
             try:
-                current = EventRecord(
-                    eid=int(fields[1]),
-                    timestamp=int(fields[2]),
-                    pid=int(fields[3]),
-                    process=fields[4],
-                    tid=int(fields[5]),
-                    category=fields[6],
-                    opcode=int(fields[7]),
-                    name=fields[8],
-                )
+                current = _event_from_fields(fields)
             except ValueError as exc:
-                raise ParseError(f"bad EVENT field: {exc}", lineno) from None
+                message = f"bad EVENT field: {exc}"
+                if strict:
+                    raise ParseError(
+                        message, lineno, kind=ParseErrorKind.BAD_FIELD
+                    ) from None
+                issue(ParseErrorKind.BAD_FIELD, message, lineno)
+                report.events_dropped += 1
+                skipping = True
+                continue
             frames = []
+            pending = 1
         elif tag == "STACK":
             if len(fields) != _STACK_FIELDS:
-                raise ParseError(
-                    f"STACK needs {_STACK_FIELDS} fields, got {len(fields)}", lineno
-                )
+                message = f"STACK needs {_STACK_FIELDS} fields, got {len(fields)}"
+                if strict:
+                    raise ParseError(message, lineno, kind=ParseErrorKind.BAD_FIELD)
+                issue(ParseErrorKind.BAD_FIELD, message, lineno)
+                drop_current()
+                skipping = True
+                continue
             if current is None:
-                raise ParseError("STACK line before any EVENT", lineno)
+                message = "STACK line before any EVENT"
+                if strict:
+                    raise ParseError(message, lineno, kind=ParseErrorKind.ORPHAN_STACK)
+                issue(ParseErrorKind.ORPHAN_STACK, message, lineno)
+                skipping = True
+                continue
             try:
                 eid = int(fields[1])
                 index = int(fields[2])
                 address = int(fields[5], 16)
             except ValueError as exc:
-                raise ParseError(f"bad STACK field: {exc}", lineno) from None
+                message = f"bad STACK field: {exc}"
+                if strict:
+                    raise ParseError(
+                        message, lineno, kind=ParseErrorKind.BAD_FIELD
+                    ) from None
+                issue(ParseErrorKind.BAD_FIELD, message, lineno)
+                drop_current()
+                skipping = True
+                continue
             if eid != current.eid:
-                raise ParseError(
-                    f"STACK eid {eid} does not match EVENT eid {current.eid}", lineno
-                )
+                message = f"STACK eid {eid} does not match EVENT eid {current.eid}"
+                if strict:
+                    raise ParseError(message, lineno, kind=ParseErrorKind.EID_MISMATCH)
+                issue(ParseErrorKind.EID_MISMATCH, message, lineno)
+                drop_current()
+                skipping = True
+                continue
             if index != len(frames):
-                raise ParseError(
-                    f"non-contiguous frame index {index} (expected {len(frames)})",
-                    lineno,
+                message = (
+                    f"non-contiguous frame index {index} (expected {len(frames)})"
                 )
+                if strict:
+                    raise ParseError(message, lineno, kind=ParseErrorKind.FRAME_GAP)
+                issue(ParseErrorKind.FRAME_GAP, message, lineno)
+                drop_current()
+                skipping = True
+                continue
             frames.append(
-                StackFrame(index=index, module=fields[3], function=fields[4], address=address)
+                StackFrame(
+                    index=index, module=fields[3], function=fields[4], address=address
+                )
             )
+            pending += 1
         else:
-            raise ParseError(f"unknown record tag {tag!r}", lineno)
+            message = f"unknown record tag {tag!r}"
+            if strict:
+                raise ParseError(message, lineno, kind=ParseErrorKind.UNKNOWN_TAG)
+            issue(ParseErrorKind.UNKNOWN_TAG, message, lineno)
+            # Keep the open event: a stray foreign line between two event
+            # blocks must not lose the completed event before it.  Its
+            # EVENT/STACK lines stay pending until the next resync exit.
+            skipping = True
+            continue
+
+    # -- end of input: truncated-tail detection -----------------------
+    tail_suspect = skipping
+    if current is not None and not tail_suspect:
+        known = depths.get(current.etype)
+        if known is not None and len(frames) < known:
+            tail_suspect = True
+    if tail_suspect:
+        report.truncated_tail = True
+        message = "log ends mid-stack-walk (truncated tail)"
+        report.record(ParseErrorKind.TRUNCATED_TAIL, max(lineno, 1), message)
+        if policy == "warn":
+            warnings.warn(
+                f"line {max(lineno, 1)}: {message}", ParseWarning, stacklevel=4
+            )
+        if require_complete_tail:
+            if strict:
+                raise ParseError(
+                    message, max(lineno, 1), kind=ParseErrorKind.TRUNCATED_TAIL
+                )
+            drop_current()
     if current is not None:
-        yield current.with_frames(frames)
+        report.consumed_lines += pending
+        yield finish(current, frames)
+
+
+def parse_with_report(
+    lines: Iterable[str],
+    *,
+    policy: str = "drop",
+    require_complete_tail: bool = False,
+) -> Tuple[List[EventRecord], ParseReport]:
+    """Recovering parse convenience: drain the stream, return the kept
+    events alongside the fully-populated :class:`ParseReport`."""
+    report = ParseReport()
+    events = list(
+        iter_parse(
+            lines,
+            policy=policy,
+            report=report,
+            require_complete_tail=require_complete_tail,
+        )
+    )
+    return events, report
 
 
 class RawLogParser:
-    """Parse raw ETL text into :class:`EventRecord` sequences."""
+    """Parse raw ETL text into :class:`EventRecord` sequences.
 
-    def parse_lines(self, lines: Iterable[str]) -> List[EventRecord]:
-        return list(iter_parse(lines))
+    ``policy`` sets the default parse policy for every ``parse_*``
+    method; each call may override it.
+    """
 
-    def parse_text(self, text: str) -> List[EventRecord]:
-        return self.parse_lines(text.splitlines())
+    def __init__(self, policy: str = "strict"):
+        if policy not in PARSE_POLICIES:
+            raise ValueError(
+                f"unknown parse policy {policy!r}; expected one of {PARSE_POLICIES}"
+            )
+        self.policy = policy
 
-    def parse_file(self, path) -> List[EventRecord]:
+    def parse_lines(
+        self,
+        lines: Iterable[str],
+        *,
+        policy: Optional[str] = None,
+        report: Optional[ParseReport] = None,
+        require_complete_tail: bool = False,
+    ) -> List[EventRecord]:
+        return list(
+            iter_parse(
+                lines,
+                policy=policy or self.policy,
+                report=report,
+                require_complete_tail=require_complete_tail,
+            )
+        )
+
+    def parse_text(self, text: str, **kwargs) -> List[EventRecord]:
+        return self.parse_lines(text.splitlines(), **kwargs)
+
+    def parse_file(self, path, **kwargs) -> List[EventRecord]:
         with open(path, "r", encoding="utf-8") as handle:
-            return self.parse_lines(handle)
+            return self.parse_lines(handle, **kwargs)
 
     def slice_process(
-        self, events: Sequence[EventRecord], process: str
+        self,
+        events: Sequence[EventRecord],
+        process: str,
+        pid: Optional[int] = None,
     ) -> List[EventRecord]:
-        """Per-process slicing of a whole-machine log."""
-        return [event for event in events if event.process == process]
+        """Per-process slicing of a whole-machine log.
+
+        With ``pid=None`` every process instance sharing the image name
+        is returned (historical behaviour — fine for single-instance
+        captures); pass the pid to keep Algorithm-1 implicit-edge
+        inference from connecting stacks of unrelated same-named
+        processes.
+        """
+        return [
+            event
+            for event in events
+            if event.process == process and (pid is None or event.pid == pid)
+        ]
+
+    def processes(
+        self, events: Sequence[EventRecord]
+    ) -> List[Tuple[str, int]]:
+        """Distinct ``(process, pid)`` pairs in first-appearance order —
+        the enumeration to drive pid-aware :meth:`slice_process` calls."""
+        seen: dict = {}
+        for event in events:
+            seen.setdefault((event.process, event.pid), None)
+        return list(seen)
 
 
 def serialize_event(event: EventRecord) -> List[str]:

@@ -1,0 +1,144 @@
+"""Structured error taxonomy and accounting for resilient log parsing.
+
+Production telemetry pipelines routinely feed the detector truncated,
+interleaved, and garbage records; one corrupt line in a million-event
+log must degrade gracefully instead of killing the scan.  This module
+defines what :func:`repro.etw.parser.iter_parse` reports when it runs
+in a recovering mode (``policy="warn"`` / ``policy="drop"``):
+
+* :class:`ParseErrorKind` — the closed taxonomy of malformed-line
+  shapes the parser can classify;
+* :class:`ParseIssue` — one classified occurrence (kind, line number,
+  message);
+* :class:`ParseReport` — per-kind counts, first/last bad line numbers,
+  dropped-event count, whether the log ended mid-stack-walk, and a
+  per-line accounting whose buckets always sum to the input line count
+  (``lines_accounted == total_lines``);
+* :class:`ParseWarning` — the warning category emitted per issue under
+  ``policy="warn"``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class ParseErrorKind(enum.Enum):
+    """Classification of every malformed-line shape the parser handles."""
+
+    #: wrong field count or a non-numeric value in a numeric field
+    BAD_FIELD = "bad-field"
+    #: a ``STACK`` line with no preceding ``EVENT`` to attach to
+    ORPHAN_STACK = "orphan-stack"
+    #: a ``STACK`` line whose eid does not match the open event
+    EID_MISMATCH = "eid-mismatch"
+    #: a non-contiguous frame index (duplicated / dropped stack line)
+    FRAME_GAP = "frame-gap"
+    #: a record tag that is neither ``EVENT`` nor ``STACK``
+    UNKNOWN_TAG = "unknown-tag"
+    #: the log ended mid-stack-walk (detected at end of input)
+    TRUNCATED_TAIL = "truncated-tail"
+
+
+class ParseWarning(UserWarning):
+    """Emitted once per recovered :class:`ParseIssue` under ``policy="warn"``."""
+
+
+@dataclass(frozen=True)
+class ParseIssue:
+    """One classified parse error, recovered from or raised."""
+
+    kind: ParseErrorKind
+    lineno: int
+    message: str
+
+
+#: Cap on retained :class:`ParseIssue` objects so a pathological log
+#: cannot balloon the report; counters keep counting past the cap.
+MAX_RECORDED_ISSUES = 1000
+
+
+@dataclass
+class ParseReport:
+    """What a recovering parse saw, kept, and threw away.
+
+    Line accounting is exhaustive: every input line lands in exactly one
+    of ``blank_lines``, ``consumed_lines`` (part of a yielded event),
+    ``error_lines`` (the line that triggered a classified issue), or
+    ``discarded_lines`` (skipped during resynchronization, or belonging
+    to an event that was dropped), so ``lines_accounted`` always equals
+    ``total_lines``.
+    """
+
+    total_lines: int = 0
+    blank_lines: int = 0
+    consumed_lines: int = 0
+    error_lines: int = 0
+    discarded_lines: int = 0
+
+    events_yielded: int = 0
+    #: events lost to corruption: partially-built events abandoned after
+    #: a stack error plus EVENT-tagged lines that never parsed
+    events_dropped: int = 0
+
+    #: True when the input ended mid-stack-walk: either inside an
+    #: unrecovered corrupt region, or with a final event whose stack is
+    #: shorter than previously observed for its event type
+    truncated_tail: bool = False
+
+    counts: Dict[ParseErrorKind, int] = field(default_factory=dict)
+    issues: List[ParseIssue] = field(default_factory=list)
+    first_bad_lineno: Optional[int] = None
+    last_bad_lineno: Optional[int] = None
+
+    # -- recording (parser-facing) ------------------------------------
+    def record(self, kind: ParseErrorKind, lineno: int, message: str) -> ParseIssue:
+        issue = ParseIssue(kind=kind, lineno=lineno, message=message)
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        if len(self.issues) < MAX_RECORDED_ISSUES:
+            self.issues.append(issue)
+        if self.first_bad_lineno is None:
+            self.first_bad_lineno = lineno
+        self.last_bad_lineno = lineno
+        return issue
+
+    # -- inspection ---------------------------------------------------
+    @property
+    def lines_accounted(self) -> int:
+        """Sum of the per-line buckets; equals ``total_lines`` always."""
+        return (
+            self.blank_lines
+            + self.consumed_lines
+            + self.error_lines
+            + self.discarded_lines
+        )
+
+    @property
+    def n_issues(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def clean(self) -> bool:
+        """No issues and no truncated tail."""
+        return self.n_issues == 0 and not self.truncated_tail
+
+    def count(self, kind: ParseErrorKind) -> int:
+        return self.counts.get(kind, 0)
+
+    def summary(self) -> str:
+        """One-line human-readable digest for logs and CLIs."""
+        parts = [
+            f"{self.events_yielded} events",
+            f"{self.total_lines} lines",
+        ]
+        if self.events_dropped:
+            parts.append(f"{self.events_dropped} dropped")
+        for kind in ParseErrorKind:
+            n = self.counts.get(kind, 0)
+            if n:
+                parts.append(f"{n} {kind.value}")
+        if self.truncated_tail:
+            parts.append("truncated tail")
+        return ", ".join(parts)

@@ -95,6 +95,21 @@ class EventFeaturizer:
         self.fitted = True
         return self
 
+    def transform_event(self, event: EventRecord) -> np.ndarray:
+        """Feature row for one event — the streaming-scan unit; equals
+        the corresponding row of :meth:`transform` bit for bit."""
+        if not self.fitted:
+            raise RuntimeError("EventFeaturizer.transform before fit")
+        etype, app, system = self.attributes(event)
+        return np.array(
+            (
+                self.etype_vocab.lookup(etype),
+                self.app_vocab.lookup(app),
+                self.system_vocab.lookup(system),
+            ),
+            dtype=float,
+        )
+
     def transform(self, events: Sequence[EventRecord]) -> np.ndarray:
         if not self.fitted:
             raise RuntimeError("EventFeaturizer.transform before fit")

@@ -12,8 +12,9 @@ weights (mean by default, max as the pessimistic alternative).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Iterable, Iterator, List, Sequence, Tuple
 
 import numpy as np
 
@@ -65,6 +66,31 @@ class WindowCoalescer:
                 )
             )
         return windows
+
+    def iter_coalesce(
+        self, pairs: Iterable[Tuple[EventRecord, np.ndarray]]
+    ) -> Iterator[Window]:
+        """Incremental coalescing over an ``(event, feature_row)`` stream.
+
+        Holds a deque of at most ``window_events`` pending pairs — the
+        streaming-scan memory bound — and yields each :class:`Window` the
+        moment its last event arrives.  Produces exactly the windows of
+        :meth:`coalesce` (same spans, bit-identical vectors) without ever
+        materializing the event list.
+        """
+        buffer: deque = deque(maxlen=self.window_events)
+        count = 0
+        for event, row in pairs:
+            buffer.append((event, row))
+            count += 1
+            start = count - self.window_events
+            if start >= 0 and start % self.stride == 0:
+                yield Window(
+                    start_index=start,
+                    start_eid=buffer[0][0].eid,
+                    end_eid=event.eid,
+                    vector=np.concatenate([pair[1] for pair in buffer]),
+                )
 
     def coalesce_matrix(self, features: np.ndarray) -> np.ndarray:
         """Window vectors only, stacked into an ``(m, 3*window)`` matrix."""

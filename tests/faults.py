@@ -1,0 +1,262 @@
+"""Fault-injection corpus generator for the resilient-ingestion tests.
+
+Takes a well-formed ("golden") raw log and emits mutated variants that
+mimic what production telemetry pipelines actually deliver: mid-stack
+truncation, duplicated and reordered lines, interleaved foreign-process
+records, and field garbage.
+
+Every variant carries ground truth for the recovery contract:
+``expected_intact_eids`` are the events whose line regions the mutation
+did not touch — a recovering parse (``policy="drop"``/``"warn"``) must
+recover each of them *exactly* (frames included).  An event's region is
+``[its EVENT line, the next EVENT line)``: a corruption landing between
+two blocks is charged to the preceding event, whose block is still open
+at that point as far as the parser can know.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+
+@dataclass(frozen=True)
+class Block:
+    """One event's line region in the source log."""
+
+    eid: int
+    start: int  #: index of the EVENT line
+    stop: int  #: one past the last line of the region
+
+
+@dataclass
+class FaultVariant:
+    """A mutated log plus the ground truth the recovery tests assert."""
+
+    name: str
+    lines: List[str]
+    #: eids of source events whose regions the mutation touched
+    corrupted_eids: Set[int] = field(default_factory=set)
+    #: eids of source events entirely removed from the variant
+    removed_eids: Set[int] = field(default_factory=set)
+    #: whether strict-mode parsing of the variant must raise ParseError
+    strict_raises: bool = True
+
+    def expected_intact_eids(self, all_eids: List[int]) -> Set[int]:
+        """Events a recovering parse must reproduce exactly."""
+        return set(all_eids) - self.corrupted_eids - self.removed_eids
+
+
+def index_blocks(lines: List[str]) -> List[Block]:
+    """Split a well-formed log into per-event line regions."""
+    starts: List[Tuple[int, int]] = []
+    for position, line in enumerate(lines):
+        if line.startswith("EVENT|"):
+            starts.append((position, int(line.split("|")[1])))
+    blocks: List[Block] = []
+    for ordinal, (position, eid) in enumerate(starts):
+        stop = starts[ordinal + 1][0] if ordinal + 1 < len(starts) else len(lines)
+        blocks.append(Block(eid=eid, start=position, stop=stop))
+    return blocks
+
+
+def _eid_of(blocks: List[Block], position: int) -> int:
+    """The eid whose region contains the given line index."""
+    for block in blocks:
+        if block.start <= position < block.stop:
+            return block.eid
+    raise IndexError(position)
+
+
+def truncate_mid_stack(
+    lines: List[str], blocks: List[Block], rng: random.Random
+) -> FaultVariant:
+    """Cut the log inside an event's stack block, leaving the final kept
+    line itself cut mid-field — the classic interrupted-capture shape."""
+    candidates = [b for b in blocks[1:] if b.stop - b.start >= 3]
+    victim = rng.choice(candidates)
+    # keep the EVENT line plus at least one whole frame, cut inside the next
+    cut = rng.randrange(victim.start + 2, victim.stop)
+    kept = lines[:cut]
+    partial = lines[cut]
+    kept.append(partial[: max(len(partial) // 2, 8)])
+    removed = {b.eid for b in blocks if b.start >= victim.stop}
+    return FaultVariant(
+        name="truncate-mid-stack",
+        lines=kept,
+        corrupted_eids={victim.eid},
+        removed_eids=removed,
+    )
+
+
+def truncate_clean_tail(
+    lines: List[str], blocks: List[Block], rng: random.Random
+) -> FaultVariant:
+    """Cut the log at a line boundary inside the *last* event's stack —
+    no malformed line at all, only the truncated-tail heuristic fires.
+
+    The parser only flags a tail walk shallower than every complete walk
+    of its etype (deeper cuts are indistinguishable from a legitimate
+    shallow call site), so the cut keeps fewer frames than that bound.
+    """
+    victim = blocks[-1]
+
+    def etype(block: Block) -> Tuple[str, str, str]:
+        fields = lines[block.start].split("|")
+        return (fields[4], fields[6], fields[8])
+
+    shallowest_prior = min(
+        (b.stop - b.start - 1 for b in blocks[:-1] if etype(b) == etype(victim)),
+        default=0,
+    )
+    kept_frames = rng.randrange(max(shallowest_prior, 1))
+    return FaultVariant(
+        name="truncate-clean-tail",
+        lines=lines[: victim.start + 1 + kept_frames],
+        corrupted_eids={victim.eid},
+        strict_raises=False,
+    )
+
+
+def duplicate_stack_lines(
+    lines: List[str], blocks: List[Block], rng: random.Random, n: int = 3
+) -> FaultVariant:
+    """Duplicate random STACK lines in place — a frame-gap per copy."""
+    stack_positions = [
+        position for position, line in enumerate(lines) if line.startswith("STACK|")
+    ]
+    chosen = sorted(rng.sample(stack_positions, min(n, len(stack_positions))))
+    mutated: List[str] = []
+    corrupted: Set[int] = set()
+    pending = set(chosen)
+    for position, line in enumerate(lines):
+        mutated.append(line)
+        if position in pending:
+            mutated.append(line)
+            corrupted.add(_eid_of(blocks, position))
+    return FaultVariant(
+        name="duplicate-stack-lines", lines=mutated, corrupted_eids=corrupted
+    )
+
+
+def duplicate_event_line(
+    lines: List[str], blocks: List[Block], rng: random.Random
+) -> FaultVariant:
+    """Duplicate one EVENT line.  Structurally legal: the first copy
+    yields as a spurious zero-frame event, the second keeps the frames —
+    so the source event survives intact and strict mode does not raise."""
+    victim = rng.choice(blocks)
+    mutated = list(lines)
+    mutated.insert(victim.start + 1, lines[victim.start])
+    return FaultVariant(
+        name="duplicate-event-line",
+        lines=mutated,
+        corrupted_eids=set(),
+        strict_raises=False,
+    )
+
+
+def reorder_stack_lines(
+    lines: List[str], blocks: List[Block], rng: random.Random
+) -> FaultVariant:
+    """Swap two adjacent STACK lines of one event — a frame gap."""
+    candidates = [b for b in blocks if b.stop - b.start >= 3]
+    victim = rng.choice(candidates)
+    position = rng.randrange(victim.start + 1, victim.stop - 1)
+    mutated = list(lines)
+    mutated[position], mutated[position + 1] = (
+        mutated[position + 1],
+        mutated[position],
+    )
+    return FaultVariant(
+        name="reorder-stack-lines", lines=mutated, corrupted_eids={victim.eid}
+    )
+
+
+def interleave_foreign_process(
+    lines: List[str], blocks: List[Block], rng: random.Random
+) -> FaultVariant:
+    """Insert a foreign process's EVENT+STACK block in the middle of a
+    victim's stack walk — interleaved whole-machine capture."""
+    candidates = [b for b in blocks if b.stop - b.start >= 3]
+    victim = rng.choice(candidates)
+    position = rng.randrange(victim.start + 2, victim.stop)
+    foreign_eid = max(b.eid for b in blocks) + 1000
+    foreign = [
+        f"EVENT|{foreign_eid}|999999|4242|foreign.exe|7|FILE_IO_READ|3|noise",
+        f"STACK|{foreign_eid}|0|foreign.exe|main|0x500000",
+        f"STACK|{foreign_eid}|1|kernel32.dll|ReadFile|0x77c00052",
+    ]
+    mutated = lines[:position] + foreign + lines[position:]
+    return FaultVariant(
+        name="interleave-foreign-process",
+        lines=mutated,
+        corrupted_eids={victim.eid},
+    )
+
+
+def garble_fields(
+    lines: List[str], blocks: List[Block], rng: random.Random, n: int = 3
+) -> FaultVariant:
+    """Replace numeric fields with garbage / whole lines with noise."""
+    positions = sorted(rng.sample(range(len(lines)), min(n, len(lines))))
+    mutated = list(lines)
+    corrupted: Set[int] = set()
+    for position in positions:
+        corrupted.add(_eid_of(blocks, position))
+        fields = mutated[position].split("|")
+        choice = rng.randrange(3)
+        if choice == 0 and len(fields) > 2:
+            fields[1] = "###"  # non-numeric eid
+            mutated[position] = "|".join(fields)
+        elif choice == 1:
+            mutated[position] = mutated[position] + "|extra|fields"
+        else:
+            mutated[position] = "\x00garbage\x00" + mutated[position][:10]
+    return FaultVariant(name="garble-fields", lines=mutated, corrupted_eids=corrupted)
+
+
+MUTATORS = (
+    truncate_mid_stack,
+    truncate_clean_tail,
+    duplicate_stack_lines,
+    duplicate_event_line,
+    reorder_stack_lines,
+    interleave_foreign_process,
+    garble_fields,
+)
+
+
+def fault_corpus(lines: List[str], seed: int = 0) -> List[FaultVariant]:
+    """All mutated variants of one golden log, deterministically."""
+    blocks = index_blocks(lines)
+    variants: List[FaultVariant] = []
+    for mutator in MUTATORS:
+        # string seeds hash deterministically (unlike tuple hashes,
+        # which vary with PYTHONHASHSEED)
+        rng = random.Random(f"{seed}:{mutator.__name__}")
+        variants.append(mutator(lines, blocks, rng))
+    return variants
+
+
+def eids_of(lines: List[str]) -> List[int]:
+    return [block.eid for block in index_blocks(lines)]
+
+
+def head_blocks(lines: List[str], max_lines: int) -> List[str]:
+    """The largest whole-event prefix of a log within ``max_lines``."""
+    blocks = index_blocks(lines)
+    keep = 0
+    for block in blocks:
+        if block.stop > max_lines:
+            break
+        keep = block.stop
+    return lines[:keep]
+
+
+def ground_truth_events(lines: List[str]) -> Dict[int, object]:
+    """eid → parsed EventRecord for a well-formed log (strict parse)."""
+    from repro.etw.parser import iter_parse
+
+    return {event.eid: event for event in iter_parse(lines)}

@@ -34,6 +34,8 @@ class TestConfigValidation:
             {"max_train_windows": -1},
             {"n_jobs": 0},
             {"cv_executor": "coroutine"},
+            {"parse_policy": "lenient"},
+            {"stream_chunk_windows": 0},
             # folds < 2 cannot pick among multiple grid points
             {"cv_folds": 0, "lam_grid": (1.0, 2.0)},
         ],

@@ -59,3 +59,31 @@ def test_bench_train_quick_emits_valid_json(data_dir, tmp_path):
     assert dataset["grid"]["identical_selection"] is True
     assert dataset["grid"]["decisions_bit_identical"] is True
     assert 0.0 <= dataset["acc"]["overall"] <= 1.0
+
+
+def test_bench_ingest_emits_valid_json(data_dir, tmp_path):
+    output = tmp_path / "BENCH_ingest.json"
+    env = {**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")}
+    completed = subprocess.run(
+        [
+            sys.executable,
+            str(REPO_ROOT / "benchmarks" / "bench_ingest.py"),
+            "--repeats", "1",
+            "--output", str(output),
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+
+    payload = json.loads(output.read_text())
+    assert payload["schema"] == "leaps-bench-ingest/v1"
+    assert {"parse", "recovery", "scan"} <= set(payload)
+    assert payload["parse"]["strict"]["lines_per_s"] > 0
+    assert payload["parse"]["drop"]["lines_per_s"] > 0
+    # every fault-corpus mutator produced a measured recovery entry
+    assert len(payload["recovery"]) == 7
+    assert payload["scan"]["windows"] > 0

@@ -1,0 +1,139 @@
+"""Fault-injection corpus: recovery must keep every uncorrupted event.
+
+For each mutated variant of a golden log, ``policy="drop"`` must
+recover 100% of the events whose line regions the mutation did not
+touch — exactly, frames included — and the ParseReport's per-line
+accounting must sum to the variant's line count.
+"""
+
+import pytest
+
+from repro.etw.parser import ParseError, iter_parse, parse_with_report
+
+from tests.conftest import DATA_DIR
+from tests.faults import (
+    MUTATORS,
+    fault_corpus,
+    ground_truth_events,
+    head_blocks,
+)
+
+pytestmark = pytest.mark.skipif(
+    not DATA_DIR.is_dir(), reason="golden dataset cache missing"
+)
+
+#: One log per shape: benign (regular), mixed (injected payload frames),
+#: malicious (foreign-process image names).
+CORPUS_LOGS = [
+    "notepad++_reverse_tcp_online-s0-733c79dbeaba/benign.log",
+    "notepad++_reverse_tcp_online-s0-733c79dbeaba/mixed.log",
+    "putty_codeinject-s0-733c79dbeaba/malicious.log",
+    "vim_reverse_https-s0-733c79dbeaba/mixed.log",
+]
+
+HEAD_LINES = 900
+
+
+def golden_head(relpath):
+    lines = (DATA_DIR / relpath).read_text(encoding="utf-8").splitlines()
+    head = head_blocks(lines, HEAD_LINES)
+    assert head, relpath
+    return head
+
+
+@pytest.fixture(scope="module", params=CORPUS_LOGS)
+def corpus(request):
+    head = golden_head(request.param)
+    return head, ground_truth_events(head), fault_corpus(head, seed=0)
+
+
+def variant_by_name(variants, name):
+    return next(v for v in variants if v.name == name.replace("_", "-"))
+
+
+class TestRecoveryContract:
+    def test_corpus_covers_every_mutator(self, corpus):
+        _, _, variants = corpus
+        assert len(variants) == len(MUTATORS)
+
+    def test_drop_recovers_every_uncorrupted_event(self, corpus):
+        head, truth, variants = corpus
+        for variant in variants:
+            events, report = parse_with_report(variant.lines, policy="drop")
+            recovered = {}
+            for event in events:
+                # keep the fullest recovery per eid (duplicated EVENT
+                # lines yield a spurious zero-frame copy first)
+                kept = recovered.get(event.eid)
+                if kept is None or len(event.frames) > len(kept.frames):
+                    recovered[event.eid] = event
+            for eid in variant.expected_intact_eids(list(truth)):
+                assert recovered.get(eid) == truth[eid], (
+                    f"{variant.name}: intact event {eid} not recovered exactly"
+                )
+
+    def test_line_accounting_sums_on_every_variant(self, corpus):
+        _, _, variants = corpus
+        for variant in variants:
+            _, report = parse_with_report(variant.lines, policy="drop")
+            assert report.total_lines == len(variant.lines), variant.name
+            assert report.lines_accounted == report.total_lines, variant.name
+
+    def test_warn_yields_same_events_as_drop(self, corpus):
+        import warnings
+
+        _, _, variants = corpus
+        for variant in variants:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                warn_events, _ = parse_with_report(variant.lines, policy="warn")
+            drop_events, _ = parse_with_report(variant.lines, policy="drop")
+            assert warn_events == drop_events, variant.name
+
+    def test_strict_raises_on_structurally_invalid_variants(self, corpus):
+        _, _, variants = corpus
+        for variant in variants:
+            if variant.strict_raises:
+                with pytest.raises(ParseError):
+                    list(iter_parse(variant.lines))
+            else:
+                list(iter_parse(variant.lines))  # structurally legal
+
+    def test_corruption_is_actually_detected(self, corpus):
+        """Every structurally-invalid variant records at least one issue
+        — the mutations are not silently absorbed."""
+        _, _, variants = corpus
+        for variant in variants:
+            _, report = parse_with_report(variant.lines, policy="drop")
+            if variant.strict_raises:
+                assert report.n_issues > 0, variant.name
+
+    def test_truncated_variant_flags_tail(self, corpus):
+        _, _, variants = corpus
+        for name in ("truncate-mid-stack", "truncate-clean-tail"):
+            variant = variant_by_name(variants, name)
+            _, report = parse_with_report(variant.lines, policy="drop")
+            assert report.truncated_tail, name
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "relpath",
+    sorted(str(p.relative_to(DATA_DIR)) for p in DATA_DIR.glob("*/*.log"))
+    if DATA_DIR.is_dir()
+    else [],
+)
+def test_full_log_fault_sweep(relpath):
+    """The recovery contract over every full golden log (slow tier)."""
+    lines = (DATA_DIR / relpath).read_text(encoding="utf-8").splitlines()
+    truth = ground_truth_events(lines)
+    for variant in fault_corpus(lines, seed=0):
+        events, report = parse_with_report(variant.lines, policy="drop")
+        assert report.lines_accounted == report.total_lines == len(variant.lines)
+        recovered = {}
+        for event in events:
+            kept = recovered.get(event.eid)
+            if kept is None or len(event.frames) > len(kept.frames):
+                recovered[event.eid] = event
+        for eid in variant.expected_intact_eids(list(truth)):
+            assert recovered.get(eid) == truth[eid], (variant.name, eid)

@@ -78,3 +78,20 @@ def test_round_trip_full_log():
     events = parser.parse_lines(lines)
     assert serialize_events(events) == lines
     assert parser.parse_lines(serialize_events(events)) == events
+
+
+@pytest.mark.parametrize("relpath", ALL_LOGS)
+def test_round_trip_identity_property(relpath):
+    """parse → serialize → parse is the identity on every golden log
+    header: the serialized text reproduces the input lines exactly, and
+    re-parsing reproduces the events exactly (frames included)."""
+    lines = [raw.rstrip("\n") for raw in read_header(relpath)]
+    # snap to the last complete event block so the tail stack walk is whole
+    last_event = max(
+        i for i, line in enumerate(lines) if line.startswith("EVENT|")
+    )
+    lines = lines[:last_event]
+    parser = RawLogParser()
+    events = parser.parse_lines(lines)
+    assert serialize_events(events) == lines
+    assert parser.parse_lines(serialize_events(events)) == events

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.etw.events import StackFrame
+from repro.etw.events import EventRecord, StackFrame
 from repro.etw.parser import (
     ParseError,
     RawLogParser,
@@ -51,6 +51,100 @@ class TestParsing:
         events = parser.parse_lines(tiny_log_lines)
         assert parser.slice_process(events, "app.exe") == events
         assert parser.slice_process(events, "other.exe") == []
+
+
+def two_instance_log():
+    """Two distinct pids sharing the image name, plus a third process."""
+    lines = []
+    for eid, (pid, process) in enumerate(
+        [(1000, "app.exe"), (2000, "app.exe"), (1000, "app.exe"),
+         (3000, "other.exe"), (2000, "app.exe")]
+    ):
+        lines.append(f"EVENT|{eid}|{eid * 10}|{pid}|{process}|4|FILE_IO_READ|3|read")
+        lines.append(f"STACK|{eid}|0|{process}|main_{pid}|0x400012")
+    return lines
+
+
+class TestPidAwareSlicing:
+    """Regression: same-named processes with distinct pids must not be
+    merged into one trace — Algorithm-1 implicit edges would connect
+    stacks from unrelated processes."""
+
+    @pytest.fixture
+    def events(self, parser):
+        return parser.parse_lines(two_instance_log())
+
+    def test_name_only_slicing_merges_pids(self, parser, events):
+        # historical behaviour, kept for single-instance captures
+        assert len(parser.slice_process(events, "app.exe")) == 4
+
+    def test_pid_slicing_separates_instances(self, parser, events):
+        first = parser.slice_process(events, "app.exe", pid=1000)
+        second = parser.slice_process(events, "app.exe", pid=2000)
+        assert [e.eid for e in first] == [0, 2]
+        assert [e.eid for e in second] == [1, 4]
+        # the two traces share no stack frames — distinct address spaces
+        assert {f.function for e in first for f in e.frames} == {"main_1000"}
+        assert {f.function for e in second for f in e.frames} == {"main_2000"}
+
+    def test_pid_slicing_respects_name_too(self, parser, events):
+        assert parser.slice_process(events, "app.exe", pid=3000) == []
+
+    def test_processes_enumeration(self, parser, events):
+        assert parser.processes(events) == [
+            ("app.exe", 1000),
+            ("app.exe", 2000),
+            ("other.exe", 3000),
+        ]
+
+    def test_enumeration_drives_complete_slicing(self, parser, events):
+        sliced = [
+            parser.slice_process(events, process, pid=pid)
+            for process, pid in parser.processes(events)
+        ]
+        assert sum(len(s) for s in sliced) == len(events)
+
+
+class TestDelimiterValidation:
+    """Raw '|' in a string field used to serialize into unparseable
+    output ("EVENT needs 9 fields, got 10"); now rejected at
+    construction time so the round-trip cannot silently corrupt."""
+
+    def make_event(self, **overrides):
+        kwargs = dict(
+            eid=1, timestamp=0, pid=1000, process="a.exe", tid=4,
+            category="FILE_IO_READ", opcode=3, name="read",
+        )
+        kwargs.update(overrides)
+        return EventRecord(**kwargs)
+
+    @pytest.mark.parametrize("field", ["process", "category", "name"])
+    def test_event_rejects_pipe(self, field):
+        with pytest.raises(ValueError, match="delimiter"):
+            self.make_event(**{field: "a|b.exe"})
+
+    @pytest.mark.parametrize("field", ["module", "function"])
+    def test_frame_rejects_pipe(self, field):
+        kwargs = dict(index=0, module="m.dll", function="f", address=1)
+        kwargs[field] = "bad|value"
+        with pytest.raises(ValueError, match="delimiter"):
+            StackFrame(**kwargs)
+
+    def test_newline_rejected_too(self):
+        with pytest.raises(ValueError, match="delimiter"):
+            self.make_event(name="two\nlines")
+
+    def test_clean_values_accepted(self):
+        event = self.make_event(process="a b.exe", name="c2 host")
+        assert serialize_event(event)  # spaces are fine; they round-trip
+
+    def test_round_trip_is_total_for_constructible_events(self):
+        """Any event that can be constructed now round-trips; the
+        confirmed failure shape is unrepresentable."""
+        event = self.make_event().with_frames(
+            [StackFrame(0, "m.dll", "f", 0x10)]
+        )
+        assert list(iter_parse(serialize_event(event))) == [event]
 
 
 class TestErrors:

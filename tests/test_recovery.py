@@ -1,0 +1,262 @@
+"""Recovering parse: error taxonomy, resynchronization, accounting."""
+
+import pytest
+
+from repro.etw.parser import (
+    ParseError,
+    RawLogParser,
+    iter_parse,
+    parse_with_report,
+)
+from repro.etw.recovery import (
+    MAX_RECORDED_ISSUES,
+    ParseErrorKind,
+    ParseReport,
+    ParseWarning,
+)
+
+
+def make_event(eid, name="read", frames=2, process="app.exe", pid=1000):
+    lines = [f"EVENT|{eid}|{eid * 1000}|{pid}|{process}|4|SYSCALL_ENTER|1|{name}"]
+    for depth in range(frames):
+        lines.append(f"STACK|{eid}|{depth}|app.exe|f{depth}|0x{0x400000 + depth:x}")
+    return lines
+
+
+def clean_log(n=4, frames=2):
+    lines = []
+    for eid in range(n):
+        lines.extend(make_event(eid, frames=frames))
+    return lines
+
+
+MALFORMED_SHAPES = [
+    ("EVENT|1|2|3", ParseErrorKind.BAD_FIELD, "EVENT needs"),
+    ("EVENT|x|0|1000|app.exe|4|C|1|n", ParseErrorKind.BAD_FIELD, "bad EVENT field"),
+    ("STACK|0|0|app.exe|f", ParseErrorKind.BAD_FIELD, "STACK needs"),
+    ("STACK|0|zz|app.exe|f|0x1", ParseErrorKind.BAD_FIELD, "bad STACK field"),
+    ("STACK|7|0|app.exe|f|0x1", ParseErrorKind.EID_MISMATCH, "does not match"),
+    ("STACK|0|5|app.exe|f|0x1", ParseErrorKind.FRAME_GAP, "non-contiguous"),
+    ("BOGUS|1|2", ParseErrorKind.UNKNOWN_TAG, "unknown record tag"),
+]
+
+
+class TestClassification:
+    """Each malformed-line shape maps to exactly one ParseErrorKind."""
+
+    @pytest.mark.parametrize("line,kind,match", MALFORMED_SHAPES)
+    def test_drop_mode_classifies(self, line, kind, match):
+        # splice the malformed line into event 0's region
+        lines = make_event(0) + [line] + make_event(1) + make_event(2)
+        events, report = parse_with_report(lines, policy="drop")
+        assert report.count(kind) == 1
+        assert match in report.issues[0].message
+        assert report.issues[0].kind is kind
+        # resync recovered the following events
+        assert [e.eid for e in events][-2:] == [1, 2]
+
+    @pytest.mark.parametrize("line,kind,match", MALFORMED_SHAPES)
+    def test_strict_mode_raises_same_shape_with_kind(self, line, kind, match):
+        lines = make_event(0) + [line]
+        with pytest.raises(ParseError, match=match) as excinfo:
+            list(iter_parse(lines))
+        assert excinfo.value.kind is kind
+        assert excinfo.value.lineno == len(lines)
+
+    def test_orphan_stack_kind(self):
+        events, report = parse_with_report(
+            ["STACK|0|0|app.exe|f|0x1"] + make_event(1), policy="drop"
+        )
+        assert report.count(ParseErrorKind.ORPHAN_STACK) == 1
+        assert [e.eid for e in events] == [1]
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown parse policy"):
+            iter_parse([], policy="lenient")
+        with pytest.raises(ValueError, match="unknown parse policy"):
+            RawLogParser(policy="lenient")
+
+
+class TestResync:
+    def test_recovers_events_on_both_sides(self):
+        lines = make_event(0) + ["GARBAGE"] + make_event(1)
+        events, report = parse_with_report(lines, policy="drop")
+        reference = {e.eid: e for e in iter_parse(clean_log(2))}
+        assert events[0] == reference[0]
+        assert events[-1] == reference[1]
+
+    def test_unknown_tag_between_blocks_keeps_open_event(self):
+        """A stray foreign line after event 0's last frame must not lose
+        event 0, whose block is still open at that point."""
+        lines = make_event(0) + ["#corrupt#"] + make_event(1)
+        events, _ = parse_with_report(lines, policy="drop")
+        assert [e.eid for e in events] == [0, 1]
+        assert len(events[0].frames) == 2
+
+    def test_stack_error_drops_only_current_event(self):
+        lines = clean_log(3)
+        lines.insert(2, "STACK|0|9|app.exe|f|0x1")  # frame gap inside event 0
+        events, report = parse_with_report(lines, policy="drop")
+        assert [e.eid for e in events] == [1, 2]
+        assert report.events_dropped == 1
+
+    def test_bad_event_line_flushes_previous_event(self):
+        lines = make_event(0) + ["EVENT|x|0|1000|app.exe|4|C|1|n"] + make_event(2)
+        events, report = parse_with_report(lines, policy="drop")
+        assert [e.eid for e in events] == [0, 2]
+        assert len(events[0].frames) == 2
+        assert report.events_dropped == 1
+
+    def test_consecutive_errors_recorded_once_per_region(self):
+        lines = make_event(0) + ["junk1", "junk2", "junk3"] + make_event(1)
+        _, report = parse_with_report(lines, policy="drop")
+        assert report.count(ParseErrorKind.UNKNOWN_TAG) == 1
+        assert report.discarded_lines == 2
+
+
+class TestAccounting:
+    @pytest.mark.parametrize("line,kind,match", MALFORMED_SHAPES)
+    def test_every_line_accounted(self, line, kind, match):
+        lines = make_event(0) + [line, "", "  "] + make_event(1)
+        _, report = parse_with_report(lines, policy="drop")
+        assert report.total_lines == len(lines)
+        assert report.lines_accounted == report.total_lines
+        assert report.blank_lines == 2
+
+    def test_clean_log_report(self):
+        lines = clean_log(3)
+        events, report = parse_with_report(lines, policy="drop")
+        assert report.clean
+        assert report.events_yielded == len(events) == 3
+        assert report.consumed_lines == report.total_lines == len(lines)
+        assert report.error_lines == report.discarded_lines == 0
+        assert report.first_bad_lineno is None
+
+    def test_first_last_bad_linenos(self):
+        lines = clean_log(4)
+        lines.insert(3, "junk-a")  # inside event 0
+        lines.insert(8, "junk-b")  # inside event 2's region
+        _, report = parse_with_report(lines, policy="drop")
+        assert report.first_bad_lineno == 4
+        assert report.last_bad_lineno == 9
+
+    def test_report_works_in_strict_mode_until_raise(self):
+        report = ParseReport()
+        with pytest.raises(ParseError):
+            list(iter_parse(clean_log(2) + ["junk"], report=report))
+        assert report.events_yielded == 1  # event 1 still open at the raise
+
+    def test_issue_list_capped_but_counts_exact(self):
+        lines = []
+        for eid in range(MAX_RECORDED_ISSUES + 50):
+            lines.extend(make_event(eid, frames=1))
+            lines.append(f"STACK|{eid}|9|app.exe|f|0x1")  # frame gap each
+        _, report = parse_with_report(lines, policy="drop")
+        assert report.count(ParseErrorKind.FRAME_GAP) == MAX_RECORDED_ISSUES + 50
+        assert len(report.issues) == MAX_RECORDED_ISSUES
+        assert report.lines_accounted == report.total_lines
+
+    def test_summary_mentions_kinds(self):
+        _, report = parse_with_report(clean_log(2) + ["junk"], policy="drop")
+        assert "unknown-tag" in report.summary()
+
+
+class TestWarnPolicy:
+    def test_warns_per_issue_and_yields_like_drop(self):
+        lines = make_event(0) + ["GARBAGE"] + make_event(1)
+        with pytest.warns(ParseWarning, match="unknown record tag"):
+            warn_events, _ = parse_with_report(lines, policy="warn")
+        drop_events, _ = parse_with_report(lines, policy="drop")
+        assert warn_events == drop_events
+
+    def test_clean_log_no_warning(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            events, _ = parse_with_report(clean_log(2), policy="warn")
+        assert len(events) == 2
+
+
+class TestTruncatedTail:
+    def truncated_log(self):
+        """Same-etype events; the last one's stack is cut short."""
+        lines = clean_log(3, frames=4)
+        return lines[:-2]  # last event keeps 2 of 4 frames
+
+    def test_flag_set_and_event_yielded_by_default(self):
+        events, report = parse_with_report(self.truncated_log(), policy="drop")
+        assert report.truncated_tail
+        assert report.count(ParseErrorKind.TRUNCATED_TAIL) == 1
+        assert [e.eid for e in events] == [0, 1, 2]
+        assert len(events[-1].frames) == 2
+
+    def test_require_complete_tail_drops_in_drop_mode(self):
+        events, report = parse_with_report(
+            self.truncated_log(), policy="drop", require_complete_tail=True
+        )
+        assert [e.eid for e in events] == [0, 1]
+        assert report.events_dropped == 1
+        assert report.lines_accounted == report.total_lines
+
+    def test_require_complete_tail_raises_in_strict_mode(self):
+        with pytest.raises(ParseError, match="mid-stack-walk") as excinfo:
+            list(iter_parse(self.truncated_log(), require_complete_tail=True))
+        assert excinfo.value.kind is ParseErrorKind.TRUNCATED_TAIL
+
+    def test_strict_default_still_yields_silently(self):
+        """Historical behaviour: without the opt-in, strict mode yields
+        the short-stacked final event; the report carries the signal."""
+        report = ParseReport()
+        events = list(iter_parse(self.truncated_log(), report=report))
+        assert len(events) == 3
+        assert report.truncated_tail
+
+    def test_log_ending_mid_resync_is_truncated(self):
+        lines = clean_log(2) + ["GARBAGE", "STACK|9|0|a|b|0x1"]
+        _, report = parse_with_report(lines, policy="drop")
+        assert report.truncated_tail
+
+    def test_tail_at_a_seen_depth_not_flagged(self):
+        """Stack depths vary naturally per call site: a final walk as
+        deep as some earlier complete walk of its etype is a legitimate
+        ending, not a truncation (regression: the old deepest-walk
+        heuristic false-positived on complete golden logs)."""
+        lines = (
+            make_event(0, frames=2) + make_event(1, frames=5) + make_event(2, frames=3)
+        )
+        _, report = parse_with_report(lines, policy="drop")
+        assert not report.truncated_tail
+
+    def test_tail_below_every_seen_depth_flagged(self):
+        lines = (
+            make_event(0, frames=3)
+            + make_event(1, frames=5)
+            + make_event(2, frames=3)[:-2]  # 1 frame < min(3, 5)
+        )
+        _, report = parse_with_report(lines, policy="drop")
+        assert report.truncated_tail
+
+    def test_unseen_etype_cannot_be_flagged(self):
+        """Heuristic limitation, documented: a final event whose etype
+        never appeared before has no depth expectation to violate."""
+        lines = make_event(0, name="only")[:-1]
+        _, report = parse_with_report(lines, policy="drop")
+        assert not report.truncated_tail
+
+    def test_complete_log_not_flagged(self):
+        _, report = parse_with_report(clean_log(3, frames=4), policy="drop")
+        assert not report.truncated_tail
+
+
+class TestParserObjectPolicy:
+    def test_parser_default_policy_applies(self):
+        lines = make_event(0) + ["junk"] + make_event(1)
+        assert len(RawLogParser(policy="drop").parse_lines(lines)) == 2
+        with pytest.raises(ParseError):
+            RawLogParser().parse_lines(lines)
+
+    def test_per_call_override(self):
+        lines = make_event(0) + ["junk"] + make_event(1)
+        parser = RawLogParser()
+        assert len(parser.parse_lines(lines, policy="drop")) == 2

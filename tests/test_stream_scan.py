@@ -1,0 +1,223 @@
+"""Streaming scan: equivalence with the batch path and bounded memory."""
+
+import numpy as np
+import pytest
+
+from repro import LeapsConfig, LeapsDetector, ParseReport
+from repro.core.pipeline import LeapsPipeline, NotTrainedError
+from repro.etw.parser import iter_parse
+from repro.preprocessing.windows import WindowCoalescer
+
+from tests.test_api import APP, NET, PAYLOAD, SYS, make_log, tiny_training_logs
+
+
+def tiny_detector(**overrides):
+    config = LeapsConfig(
+        window_events=2,
+        stride=1,
+        lam_grid=(10.0,),
+        sigma2_grid=(5.0,),
+        cv_folds=0,
+        max_train_windows=0,
+        seed=1,
+        **overrides,
+    )
+    detector = LeapsDetector(config)
+    detector.train_from_logs(*tiny_training_logs())
+    return detector
+
+
+SCAN_SPECS = [("read", APP + SYS), ("beacon", PAYLOAD + NET)] * 8
+
+
+class TestCoalescerStream:
+    @pytest.mark.parametrize("window,stride", [(2, 1), (3, 2), (4, 4), (5, 3)])
+    def test_iter_coalesce_matches_batch(self, window, stride):
+        events = list(iter_parse(make_log(SCAN_SPECS)))
+        features = np.arange(len(events) * 3, dtype=float).reshape(-1, 3)
+        coalescer = WindowCoalescer(window_events=window, stride=stride)
+        batch = coalescer.coalesce(features, events)
+        stream = list(coalescer.iter_coalesce(zip(events, features)))
+        assert len(stream) == len(batch)
+        for got, want in zip(stream, batch):
+            assert got.start_index == want.start_index
+            assert got.start_eid == want.start_eid
+            assert got.end_eid == want.end_eid
+            assert np.array_equal(got.vector, want.vector)
+
+    def test_short_stream_yields_nothing(self):
+        coalescer = WindowCoalescer(window_events=10, stride=5)
+        events = list(iter_parse(make_log(SCAN_SPECS[:3])))
+        assert list(coalescer.iter_coalesce((e, np.zeros(3)) for e in events)) == []
+
+
+class TestStreamEquivalence:
+    def test_scan_log_is_scan_stream(self):
+        detector = tiny_detector()
+        lines = make_log(SCAN_SPECS)
+        assert detector.scan_log(lines) == list(detector.scan_stream(lines))
+
+    def test_stream_matches_batch_reference_bit_identically(self):
+        """With the whole log in one scoring chunk, the streaming path
+        reproduces the historical batch scores bit for bit."""
+        detector = tiny_detector(stream_chunk_windows=1 << 20)
+        lines = make_log(SCAN_SPECS)
+        windows, matrix = detector.pipeline.featurize_log(lines)
+        reference = detector.pipeline.model.decision_function(matrix)
+        streamed = list(detector.scan_stream(lines))
+        assert len(streamed) == len(windows)
+        for detection, window, score in zip(streamed, windows, reference):
+            assert detection.index == window.start_index
+            assert detection.start_eid == window.start_eid
+            assert detection.end_eid == window.end_eid
+            assert detection.score == float(score)
+
+    def test_chunked_stream_matches_batch_reference(self):
+        """Tiny chunks exercise multi-batch scoring; scores agree with
+        the full-batch reference to float64 noise."""
+        detector = tiny_detector(stream_chunk_windows=3)
+        lines = make_log(SCAN_SPECS)
+        _, matrix = detector.pipeline.featurize_log(lines)
+        reference = detector.pipeline.model.decision_function(matrix)
+        streamed = [d.score for d in detector.scan_stream(lines)]
+        np.testing.assert_allclose(streamed, reference, rtol=0, atol=1e-12)
+
+    def test_stream_accepts_pure_iterator(self):
+        detector = tiny_detector()
+        lines = make_log(SCAN_SPECS)
+        from_list = detector.scan_log(lines)
+        from_iter = list(detector.scan_stream(iter(lines)))
+        assert from_iter == from_list
+
+
+class TestStreamIngestion:
+    def test_policy_and_report_reach_the_parser(self):
+        detector = tiny_detector()
+        lines = make_log(SCAN_SPECS)
+        corrupt = lines[:9] + ["@@corrupt@@"] + lines[9:]
+        report = ParseReport()
+        detections = list(
+            detector.scan_stream(corrupt, report=report, policy="drop")
+        )
+        assert detections
+        assert report.n_issues == 1
+        assert report.lines_accounted == report.total_lines == len(corrupt)
+
+    def test_strict_default_raises_on_corrupt_stream(self):
+        from repro.etw.parser import ParseError
+
+        detector = tiny_detector()
+        corrupt = ["@@corrupt@@"] + make_log(SCAN_SPECS)
+        with pytest.raises(ParseError):
+            list(detector.scan_stream(corrupt))
+
+    def test_config_policy_is_stream_default(self):
+        detector = tiny_detector(parse_policy="drop")
+        corrupt = ["@@corrupt@@"] + make_log(SCAN_SPECS)
+        assert list(detector.scan_stream(corrupt))
+
+    def test_not_trained_raises_eagerly(self):
+        pipeline = LeapsPipeline()
+        with pytest.raises(NotTrainedError):
+            pipeline.score_stream([])  # no iteration needed
+        with pytest.raises(NotTrainedError):
+            LeapsDetector().scan_stream([])
+
+
+@pytest.mark.e2e
+class TestGoldenEquivalence:
+    """scan_stream ≡ scan_log on every complete golden dataset."""
+
+    @pytest.fixture(scope="class")
+    def trained(self, e2e_dataset):
+        config = LeapsConfig(
+            window_events=10,
+            stride=5,
+            lam_grid=(1.0,),
+            sigma2_grid=(30.0,),
+            cv_folds=0,
+            max_train_windows=400,
+            seed=0,
+            # whole log in one scoring chunk → bit-identical to the
+            # historical full-batch decision_function
+            stream_chunk_windows=1 << 20,
+        )
+        detector = LeapsDetector(config)
+        detector.train_from_logs(
+            (e2e_dataset / "benign.log").read_text().splitlines(),
+            (e2e_dataset / "mixed.log").read_text().splitlines(),
+        )
+        return detector
+
+    def complete_datasets(self, data_dir):
+        return sorted(
+            p.parent
+            for p in data_dir.glob("*/benign.log")
+            if (p.parent / "mixed.log").exists()
+            and (p.parent / "malicious.log").exists()
+        )
+
+    def test_stream_equals_log_on_all_complete_datasets(self, trained, data_dir):
+        datasets = self.complete_datasets(data_dir)
+        assert datasets
+        for dataset in datasets:
+            for log in ("benign.log", "mixed.log", "malicious.log"):
+                lines = (dataset / log).read_text().splitlines()
+                streamed = list(trained.scan_stream(lines))
+                assert streamed == trained.scan_log(lines), (dataset.name, log)
+
+    def test_stream_equals_batch_reference_on_all_complete_datasets(
+        self, trained, data_dir
+    ):
+        """Non-vacuous check: the incremental path reproduces the
+        independent batch computation (featurize_log + full-matrix
+        decision_function) bit for bit."""
+        for dataset in self.complete_datasets(data_dir):
+            for log in ("benign.log", "mixed.log", "malicious.log"):
+                lines = (dataset / log).read_text().splitlines()
+                windows, matrix = trained.pipeline.featurize_log(lines)
+                reference = trained.pipeline.model.decision_function(matrix)
+                streamed = list(trained.scan_stream(lines))
+                assert [d.score for d in streamed] == [float(s) for s in reference]
+                assert [d.index for d in streamed] == [
+                    w.start_index for w in windows
+                ], (dataset.name, log)
+
+
+class TestBoundedMemory:
+    N_EVENTS = 30_000
+
+    def big_log_lines(self):
+        """A pure generator over a log larger than any pending buffer."""
+        for eid in range(self.N_EVENTS):
+            name, stack = SCAN_SPECS[eid % len(SCAN_SPECS)]
+            yield f"EVENT|{eid}|{eid * 1000}|1000|app.exe|4|SYSCALL_ENTER|1|{name}"
+            for depth, (module, function) in enumerate(stack):
+                yield (
+                    f"STACK|{eid}|{depth}|{module}|{function}|"
+                    f"0x{0x400000 + depth * 0x40:x}"
+                )
+
+    def test_streams_a_log_larger_than_the_window_deque(self):
+        detector = tiny_detector()
+        count = sum(1 for _ in detector.scan_stream(self.big_log_lines()))
+        # window=2, stride=1 → one window per event after the first
+        assert count == self.N_EVENTS - 1
+
+    def test_detections_yield_before_input_is_exhausted(self):
+        """First verdicts must surface after ~one scoring chunk of
+        events, not after the whole log — the streaming property."""
+        detector = tiny_detector()  # stream_chunk_windows=256
+        consumed = 0
+
+        def counting_lines():
+            nonlocal consumed
+            for line in self.big_log_lines():
+                consumed += 1
+                yield line
+
+        stream = detector.scan_stream(counting_lines())
+        next(stream)
+        lines_per_event = 1 + len(SCAN_SPECS[0][1])
+        budget = 2 * detector.config.stream_chunk_windows * lines_per_event
+        assert consumed < budget < self.N_EVENTS * lines_per_event
