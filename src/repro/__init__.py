@@ -6,7 +6,8 @@ Public entry points::
 """
 
 from repro.core.config import LeapsConfig
-from repro.core.detector import LeapsDetector, WindowDetection
+from repro.core.detector import LeapsDetector, ScanResult, WindowDetection
+from repro.core.persistence import BundleError, BundleVersionError
 from repro.core.pipeline import TrainingReport
 from repro.etw.recovery import ParseErrorKind, ParseReport
 
@@ -15,8 +16,11 @@ __version__ = "0.1.0"
 __all__ = [
     "LeapsConfig",
     "LeapsDetector",
+    "ScanResult",
     "WindowDetection",
     "TrainingReport",
+    "BundleError",
+    "BundleVersionError",
     "ParseErrorKind",
     "ParseReport",
     "__version__",

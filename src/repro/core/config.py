@@ -8,7 +8,7 @@ explicit ``numpy.random.Generator`` instances — no global RNG state
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass, fields
 from typing import Tuple
 
 import numpy as np
@@ -90,3 +90,26 @@ class LeapsConfig:
     def rng(self) -> np.random.Generator:
         """A fresh generator derived from the config seed."""
         return np.random.default_rng(self.seed)
+
+    # -- (de)serialization — used by the model bundle -----------------
+    def to_dict(self) -> dict:
+        """JSON-compatible dict (tuples become lists)."""
+        doc = asdict(self)
+        doc["lam_grid"] = list(self.lam_grid)
+        doc["sigma2_grid"] = list(self.sigma2_grid)
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "LeapsConfig":
+        """Inverse of :meth:`to_dict`; rejects unknown keys so a stale
+        or foreign bundle fails loudly instead of silently dropping
+        settings."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(doc) - known
+        if unknown:
+            raise ValueError(f"unknown LeapsConfig keys: {sorted(unknown)}")
+        doc = dict(doc)
+        for key in ("lam_grid", "sigma2_grid"):
+            if key in doc:
+                doc[key] = tuple(doc[key])
+        return cls(**doc)

@@ -5,6 +5,14 @@
 >>> detections = detector.scan_log(production_lines)
 >>> flagged, total = detector.alert_summary(detections)
 
+Train once, scan everywhere: a trained detector persists to a versioned
+bundle directory and fans out across a fleet of logs —
+
+>>> detector.save("model.leaps")
+>>> scanner = LeapsDetector.load("model.leaps")
+>>> results = scanner.scan_logs(paths, n_jobs=4)
+>>> [r.source for r in results if r.flagged]
+
 For whole-machine logs that do not fit in RAM, scan a line iterator
 incrementally — with a recovering parse policy and a ParseReport to
 account for every corrupt line:
@@ -18,12 +26,18 @@ account for every corrupt line:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.core.cfg_inference import CFG
 from repro.core.config import LeapsConfig
+from repro.core.persistence import load_bundle, save_bundle
 from repro.core.pipeline import LeapsPipeline, TrainingReport
+from repro.etw.parser import iter_parse
 from repro.etw.recovery import ParseReport
 
 
@@ -37,6 +51,41 @@ class WindowDetection:
     #: SVM decision value; negative means the malicious side
     score: float
     malicious: bool
+
+
+@dataclass(frozen=True)
+class ScanResult:
+    """One log's verdicts from a fleet scan (:meth:`LeapsDetector.scan_logs`)."""
+
+    #: the log's path, or None when the input was an in-memory iterable
+    source: Optional[str]
+    detections: List[WindowDetection] = field(default_factory=list)
+    #: recovery accounting, when the scan requested ``with_reports``
+    report: Optional[ParseReport] = None
+
+    @property
+    def flagged(self) -> int:
+        return sum(1 for detection in self.detections if detection.malicious)
+
+
+#: One bundle-loaded detector per worker process, installed by the pool
+#: initializer so the model deserializes once per worker, not per log.
+_SCAN_WORKER: dict = {}
+
+
+def _init_scan_worker(bundle_path: str, policy: Optional[str], with_reports: bool):
+    _SCAN_WORKER["detector"] = LeapsDetector.load(bundle_path)
+    _SCAN_WORKER["policy"] = policy
+    _SCAN_WORKER["with_reports"] = with_reports
+
+
+def _scan_worker_job(job: Tuple[int, Optional[str], Optional[List[str]]]):
+    index, source, lines = job
+    detector = _SCAN_WORKER["detector"]
+    result = detector._scan_job(
+        source, lines, _SCAN_WORKER["policy"], _SCAN_WORKER["with_reports"]
+    )
+    return index, result
 
 
 class LeapsDetector:
@@ -68,10 +117,138 @@ class LeapsDetector:
     def report(self) -> Optional[TrainingReport]:
         return self.pipeline.report
 
+    # -- persistence ---------------------------------------------------
+    def save(self, path: Union[str, Path]) -> Path:
+        """Serialize the trained model to a bundle directory; a detector
+        loaded from it scans bit-identically to this one."""
+        return save_bundle(self.pipeline, path)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "LeapsDetector":
+        """Restore a scan-ready detector from a :meth:`save` bundle."""
+        return cls.from_pipeline(load_bundle(path))
+
+    @classmethod
+    def from_pipeline(cls, pipeline: LeapsPipeline) -> "LeapsDetector":
+        detector = cls(pipeline.config)
+        detector.pipeline = pipeline
+        return detector
+
     # -- scanning ------------------------------------------------------
     def scan_log(self, lines: Iterable[str]) -> List[WindowDetection]:
-        """Scan a complete log; thin wrapper draining :meth:`scan_stream`."""
-        return list(self.scan_stream(lines))
+        """Scan a complete log on the batch fast path.
+
+        Bit-identical to draining :meth:`scan_stream`, which remains the
+        bounded-memory alternative for logs too large to materialize.
+        """
+        return self._scan_job(None, lines, None, False).detections
+
+    def _scan_job(
+        self,
+        source: Optional[str],
+        lines: Optional[Iterable[str]],
+        policy: Optional[str],
+        with_reports: bool,
+    ) -> ScanResult:
+        """Scan one log (a path when ``lines`` is None, else the given
+        lines) through the batch fast path."""
+        if lines is None:
+            assert source is not None
+            lines = Path(source).read_text().splitlines()
+        report = ParseReport() if with_reports else None
+        events = list(
+            iter_parse(
+                lines,
+                policy=policy or self.pipeline.parser.policy,
+                report=report,
+            )
+        )
+        windows, scores = self.pipeline.score_events(events)
+        detections = [
+            WindowDetection(
+                index=window.start_index,
+                start_eid=window.start_eid,
+                end_eid=window.end_eid,
+                score=float(score),
+                malicious=bool(score < 0.0),
+            )
+            for window, score in zip(windows, scores)
+        ]
+        return ScanResult(source=source, detections=detections, report=report)
+
+    def scan_logs(
+        self,
+        logs: Iterable[Union[str, os.PathLike, Iterable[str]]],
+        n_jobs: int = 1,
+        executor: str = "process",
+        policy: Optional[str] = None,
+        with_reports: bool = False,
+        bundle_path: Optional[Union[str, Path]] = None,
+    ) -> List[ScanResult]:
+        """Scan a fleet of logs, optionally in parallel.
+
+        Each item is a log path (``str``/``os.PathLike``) or an iterable
+        of raw lines.  Results come back in input order and are
+        identical to serial :meth:`scan_log` for any worker count.
+
+        ``n_jobs`` > 1 shards whole logs across an ``executor`` pool:
+        ``"process"`` saves the model to a bundle (``bundle_path``, or a
+        temporary directory) and each worker loads it once —
+        sidestepping the GIL for the kernel math; ``"thread"`` shares
+        this in-memory detector.  ``policy``/``with_reports`` expose the
+        recovering-ingestion knobs per log.
+        """
+        if n_jobs < 1:
+            raise ValueError("n_jobs must be >= 1")
+        if executor not in ("process", "thread"):
+            raise ValueError("executor must be 'process' or 'thread'")
+        if self.pipeline.model is None:
+            # Fail before touching any log, matching scan_log's contract.
+            from repro.core.pipeline import NotTrainedError
+
+            raise NotTrainedError("pipeline has not been trained")
+
+        jobs: List[Tuple[int, Optional[str], Optional[List[str]]]] = []
+        for index, item in enumerate(logs):
+            if isinstance(item, (str, os.PathLike)):
+                jobs.append((index, os.fspath(item), None))
+            else:
+                jobs.append((index, None, list(item)))
+
+        if n_jobs == 1 or len(jobs) <= 1:
+            return [
+                self._scan_job(source, lines, policy, with_reports)
+                for _, source, lines in jobs
+            ]
+
+        workers = min(n_jobs, len(jobs))
+        if executor == "thread":
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                return list(
+                    pool.map(
+                        lambda job: self._scan_job(
+                            job[1], job[2], policy, with_reports
+                        ),
+                        jobs,
+                    )
+                )
+
+        with tempfile.TemporaryDirectory() as scratch:
+            if bundle_path is None:
+                bundle = Path(scratch) / "bundle"
+                self.save(bundle)
+            else:
+                bundle = Path(bundle_path)
+                if not (bundle / "bundle.json").is_file():
+                    self.save(bundle)
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_scan_worker,
+                initargs=(str(bundle), policy, with_reports),
+            ) as pool:
+                indexed = list(pool.map(_scan_worker_job, jobs))
+        indexed.sort(key=lambda pair: pair[0])
+        return [result for _, result in indexed]
 
     def scan_stream(
         self,
@@ -100,7 +277,18 @@ class LeapsDetector:
         )
 
     @staticmethod
-    def alert_summary(detections: Sequence[WindowDetection]) -> Tuple[int, int]:
-        """(flagged windows, total windows) for a scan result."""
-        flagged = sum(1 for detection in detections if detection.malicious)
-        return flagged, len(detections)
+    def alert_summary(
+        detections: Iterable[WindowDetection],
+    ) -> Tuple[int, int]:
+        """(flagged windows, total windows) for a scan result.
+
+        Accepts any iterable — including the :meth:`scan_stream`
+        generator — counting both tallies in a single pass.
+        """
+        flagged = 0
+        total = 0
+        for detection in detections:
+            total += 1
+            if detection.malicious:
+                flagged += 1
+        return flagged, total

@@ -1,0 +1,225 @@
+"""Versioned on-disk model bundles — train once, fan out to N scanners.
+
+A trained :class:`~repro.core.pipeline.LeapsPipeline` serializes to a
+*bundle directory* holding exactly two files:
+
+``bundle.json``
+    Schema version, the :class:`~repro.core.config.LeapsConfig`, the
+    fitted attribute vocabularies (keys in first-appearance order — ids
+    are implied by position, so featurization round-trips exactly), the
+    selected (λ, σ²), and the scalar SVM state (intercept, solver
+    settings, solver health).
+``arrays.npz``
+    Every float array, byte-exact: standardized support vectors, their
+    dual coefficients and α values, the support indices into the
+    training set, and the standardizer's mean/scale.
+
+Floats ride in the ``.npz`` (lossless IEEE-754 bytes); JSON carries only
+structure, strings, and ints — so ``save → load → scan`` produces
+*bit-identical* detections to the in-memory detector, which the tests
+and ``benchmarks/bench_scan.py`` assert.
+
+Training-time artifacts (the benign/mixed CFGs, the ``TrainingReport``)
+are deliberately **not** persisted: a scanner process needs none of
+them, and fleet fan-out is the point of the bundle.  Loading a bundle
+yields a pipeline that scans; retraining it builds fresh state.
+
+The ``schema`` field is checked on load.  Unknown versions raise
+:class:`BundleVersionError` — a scanner must never silently
+misinterpret a bundle written by a newer trainer.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.core.config import LeapsConfig
+from repro.learning.kernels import gaussian_kernel
+from repro.learning.scaling import Standardizer
+from repro.learning.wsvm import WeightedSVM
+from repro.preprocessing.features import EventFeaturizer, Vocabulary
+
+#: Bundle schema identifier; bump the suffix on incompatible changes.
+SCHEMA = "leaps-model/v1"
+
+JSON_NAME = "bundle.json"
+NPZ_NAME = "arrays.npz"
+
+
+class BundleError(RuntimeError):
+    """The bundle is missing, malformed, or cannot be written."""
+
+
+class BundleVersionError(BundleError):
+    """The bundle's schema version is not one this code understands."""
+
+
+def _vocab_keys_etype(vocab: Vocabulary) -> list:
+    # etype = (category: str, opcode: int, name: str)
+    return [[category, opcode, name] for category, opcode, name in vocab.keys()]
+
+
+def _vocab_keys_path(vocab: Vocabulary) -> list:
+    # signature = ((module, function), ...)
+    return [[[module, function] for module, function in key] for key in vocab.keys()]
+
+
+def _restore_vocab(keys) -> Vocabulary:
+    vocab = Vocabulary()
+    for key in keys:
+        vocab.add(key)
+    vocab.freeze()
+    return vocab
+
+
+def save_bundle(pipeline, path: Union[str, Path]) -> Path:
+    """Serialize a trained pipeline to the bundle directory ``path``.
+
+    Creates ``path`` (and parents) if needed; overwrites an existing
+    bundle in place.  Returns the bundle directory path.
+    """
+    model = pipeline.model
+    featurizer = pipeline.featurizer
+    standardizer = pipeline.standardizer
+    if model is None or featurizer is None or standardizer is None:
+        raise BundleError("cannot save an untrained pipeline")
+    sigma2 = getattr(model.kernel, "sigma2", None)
+    if sigma2 is None:
+        raise BundleError(
+            "only Gaussian-kernel models serialize (kernel has no sigma2)"
+        )
+    if model._sv_X is None:
+        raise BundleError(
+            "model was fit from a precomputed gram without X; support "
+            "vectors are required to scan from a bundle"
+        )
+
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+
+    doc = {
+        "schema": SCHEMA,
+        "config": pipeline.config.to_dict(),
+        "selection": {"lam": float(model.lam), "sigma2": float(sigma2)},
+        "svm": {
+            "b": float(model.b),
+            "tol": float(model.tol),
+            "max_passes": int(model.max_passes),
+            "max_sweeps": int(model.max_sweeps),
+            "seed": int(model.seed),
+            "partner_rule": model.partner_rule,
+            "n_train": int(len(model.alpha)),
+            "n_sv": int(len(model.support_)),
+            "n_sweeps": int(model.n_sweeps_),
+            "converged": bool(model.converged_),
+        },
+        "vocab": {
+            "etype": _vocab_keys_etype(featurizer.etype_vocab),
+            "app": _vocab_keys_path(featurizer.app_vocab),
+            "system": _vocab_keys_path(featurizer.system_vocab),
+        },
+    }
+    (path / JSON_NAME).write_text(json.dumps(doc, indent=2) + "\n")
+    np.savez(
+        path / NPZ_NAME,
+        sv_X=model._sv_X,
+        sv_coef=model._sv_coef,
+        sv_alpha=model.alpha[model.support_],
+        support=model.support_,
+        scaler_mean=standardizer.mean_,
+        scaler_scale=standardizer.scale_,
+    )
+    return path
+
+
+def load_bundle(path: Union[str, Path]):
+    """Restore a scan-ready pipeline from a bundle directory.
+
+    The returned pipeline scans bit-identically to the pipeline that was
+    saved; its training-time artifacts (CFGs, report) are ``None``.
+    """
+    from repro.core.pipeline import LeapsPipeline  # circular at import time
+
+    path = Path(path)
+    json_path = path / JSON_NAME
+    npz_path = path / NPZ_NAME
+    if not json_path.is_file() or not npz_path.is_file():
+        raise BundleError(
+            f"{path} is not a model bundle (needs {JSON_NAME} + {NPZ_NAME})"
+        )
+    try:
+        doc = json.loads(json_path.read_text())
+    except json.JSONDecodeError as error:
+        raise BundleError(f"unparseable {json_path}: {error}") from error
+    schema = doc.get("schema")
+    if schema != SCHEMA:
+        raise BundleVersionError(
+            f"bundle schema {schema!r} is not supported (expected {SCHEMA!r})"
+        )
+
+    config = LeapsConfig.from_dict(doc["config"])
+    pipeline = LeapsPipeline(config)
+
+    featurizer = EventFeaturizer(pipeline.partitioner)
+    vocab = doc["vocab"]
+    featurizer.etype_vocab = _restore_vocab(
+        (category, int(opcode), name) for category, opcode, name in vocab["etype"]
+    )
+    featurizer.app_vocab = _restore_vocab(
+        tuple((module, function) for module, function in key)
+        for key in vocab["app"]
+    )
+    featurizer.system_vocab = _restore_vocab(
+        tuple((module, function) for module, function in key)
+        for key in vocab["system"]
+    )
+    featurizer.fitted = True
+
+    with np.load(npz_path) as arrays:
+        sv_X = arrays["sv_X"]
+        sv_coef = arrays["sv_coef"]
+        sv_alpha = arrays["sv_alpha"]
+        support = arrays["support"]
+        scaler_mean = arrays["scaler_mean"]
+        scaler_scale = arrays["scaler_scale"]
+
+    standardizer = Standardizer()
+    standardizer.mean_ = scaler_mean
+    standardizer.scale_ = scaler_scale
+
+    svm = doc["svm"]
+    selection = doc["selection"]
+    if not (len(sv_X) == len(sv_coef) == len(sv_alpha) == len(support) == svm["n_sv"]):
+        raise BundleError(
+            f"inconsistent bundle: n_sv={svm['n_sv']} but arrays have "
+            f"{len(sv_X)}/{len(sv_coef)}/{len(sv_alpha)}/{len(support)} rows"
+        )
+    model = WeightedSVM(
+        kernel=gaussian_kernel(selection["sigma2"]),
+        lam=selection["lam"],
+        tol=svm["tol"],
+        max_passes=svm["max_passes"],
+        max_sweeps=svm["max_sweeps"],
+        seed=svm["seed"],
+        partner_rule=svm["partner_rule"],
+    )
+    alpha = np.zeros(svm["n_train"])
+    alpha[support] = sv_alpha
+    model.alpha = alpha
+    model.b = svm["b"]
+    model._b = svm["b"]
+    model.support_ = support
+    model._sv_X = sv_X
+    model._sv_coef = sv_coef
+    model.n_sweeps_ = svm["n_sweeps"]
+    model.converged_ = svm["converged"]
+    model._refresh_scoring_cache()
+
+    pipeline.featurizer = featurizer
+    pipeline.standardizer = standardizer
+    pipeline.model = model
+    return pipeline

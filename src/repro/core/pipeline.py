@@ -28,13 +28,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.cfg_inference import CFG, CFGInferencer
 from repro.core.config import LeapsConfig
 from repro.core.weights import WeightAssessor
+from repro.etw.events import EventRecord
 from repro.etw.parser import RawLogParser, iter_parse
 from repro.etw.recovery import ParseReport
 from repro.etw.stack_partition import StackPartitioner
@@ -261,22 +262,55 @@ class LeapsPipeline:
         if self.featurizer is None or self.standardizer is None:
             raise NotTrainedError("pipeline has not been trained")
         events = self.parser.parse_lines(lines)
-        features = self.featurizer.transform(events)
-        windows = self.coalescer.coalesce(features, events)
+        windows, matrix = self.coalescer.coalesce_with_matrix(
+            self.featurizer.transform(events), events
+        )
         if not windows:
             return [], np.zeros((0, self.coalescer.dims))
-        matrix = np.stack([w.vector for w in windows])
         return windows, self.standardizer.transform(matrix)
+
+    def score_events(
+        self, events: Sequence[EventRecord]
+    ) -> Tuple[List[Window], np.ndarray]:
+        """Score an already-parsed event sequence — the scan fast path.
+
+        Featurizes through the vocabulary memo into one preallocated
+        matrix, coalesces every window in a single gather, standardizes
+        once, and scores in ``stream_chunk_windows``-sized kernel
+        batches.  The chunk boundaries match :meth:`score_stream`'s, so
+        the decision values are bit-identical to the streaming path (and
+        to the historical per-event implementation).
+        """
+        if self.model is None:
+            raise NotTrainedError("pipeline has not been trained")
+        if self.featurizer is None or self.standardizer is None:
+            raise NotTrainedError("pipeline has not been trained")
+        windows, matrix = self.coalescer.coalesce_with_matrix(
+            self.featurizer.transform(events), events
+        )
+        if not windows:
+            return [], np.zeros(0)
+        X = self.standardizer.transform(matrix)
+        chunk = self.config.stream_chunk_windows
+        scores = np.empty(len(windows))
+        for start in range(0, len(windows), chunk):
+            scores[start : start + chunk] = self.model.decision_function(
+                X[start : start + chunk]
+            )
+        return windows, scores
 
     def score_log(self, lines: Iterable[str]) -> Tuple[List[Window], np.ndarray]:
         """Decision values per window (negative ⇒ malicious).
 
-        Thin wrapper draining :meth:`score_stream`."""
-        scored = list(self.score_stream(lines))
-        if not scored:
-            return [], np.zeros(0)
-        windows, scores = zip(*scored)
-        return list(windows), np.asarray(scores)
+        Batch fast path: parses the whole log, then
+        :meth:`score_events`.  Bit-identical to draining
+        :meth:`score_stream` (verified by tests on every complete golden
+        dataset); use the streaming path for logs that must not be
+        materialized.
+        """
+        if self.model is None:
+            raise NotTrainedError("pipeline has not been trained")
+        return self.score_events(self.parser.parse_lines(lines))
 
     def score_stream(
         self,

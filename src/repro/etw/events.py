@@ -47,6 +47,18 @@ class StackFrame:
     def __post_init__(self):
         _check_field("StackFrame", "module", self.module)
         _check_field("StackFrame", "function", self.function)
+        # Frames are the unit of the featurization memo (hashed inside
+        # every ``event.frames`` cache key, once per event); the
+        # dataclass-generated hash rebuilds a field tuple per call, so
+        # compute it once here instead.
+        object.__setattr__(
+            self,
+            "_hash",
+            hash((self.index, self.module, self.function, self.address)),
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def node(self) -> FrameNode:

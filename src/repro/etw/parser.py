@@ -64,6 +64,16 @@ _STACK_FIELDS = 6
 
 PARSE_POLICIES = ("strict", "warn", "drop")
 
+#: Process-wide frame intern table.  Stack walks are massively
+#: repetitive — a whole fleet of logs from one application collapses to
+#: a few hundred distinct frames — so equal frames parse to the *same*
+#: :class:`StackFrame` object even across separate parse runs.  The
+#: featurization memo keys on ``event.frames`` tuples; interning lets
+#: its tuple-equality checks short-circuit on identity instead of
+#: falling into per-field dataclass comparisons.  Growth is bounded by
+#: the distinct frames seen, the same bound the memo itself has.
+_FRAME_INTERN: dict = {}
+
 
 def _event_from_fields(fields: Sequence[str]) -> EventRecord:
     """Build an :class:`EventRecord` from a split EVENT line; raises
@@ -126,6 +136,7 @@ def _iter_parse(
     pending = 0
     #: resynchronizing: discard lines until the next well-formed EVENT
     skipping = False
+    interned = _FRAME_INTERN
     #: shallowest completed stack walk per etype — the truncated-tail
     #: heuristic: a final walk shallower than *every* complete walk seen
     #: for its etype is suspect; one at a previously-seen depth is a
@@ -263,11 +274,14 @@ def _iter_parse(
                 drop_current()
                 skipping = True
                 continue
-            frames.append(
-                StackFrame(
+            key = (index, fields[3], fields[4], address)
+            frame = interned.get(key)
+            if frame is None:
+                frame = StackFrame(
                     index=index, module=fields[3], function=fields[4], address=address
                 )
-            )
+                interned[key] = frame
+            frames.append(frame)
             pending += 1
         else:
             message = f"unknown record tag {tag!r}"

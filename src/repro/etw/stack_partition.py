@@ -49,28 +49,48 @@ class StackPartitioner:
     ``strict=True`` raises :class:`StackPartitionError` when app frames
     interleave with system frames; ``strict=False`` splits at the first
     system frame regardless (useful for hostile/corrupt logs).
+
+    Module classification is memoized per partitioner: real logs repeat
+    the same handful of module names millions of times, so the
+    lower-case/suffix check runs once per distinct name.  The memo only
+    grows with the set of distinct module names in the trace, which is
+    small and bounded by the process's loaded images.
     """
 
     def __init__(self, strict: bool = True):
         self.strict = strict
+        self._system_memo: dict = {}
 
-    def partition(
-        self, frames: Sequence[StackFrame]
-    ) -> Tuple[List[StackFrame], List[StackFrame]]:
+    def is_system(self, module: str) -> bool:
+        """Memoized :func:`is_system_module`."""
+        flag = self._system_memo.get(module)
+        if flag is None:
+            flag = is_system_module(module)
+            self._system_memo[module] = flag
+        return flag
+
+    def split_index(self, frames: Sequence[StackFrame]) -> int:
+        """Index of the first system frame (``len(frames)`` if none),
+        enforcing the prefix invariant when ``strict``."""
         split = len(frames)
         for position, frame in enumerate(frames):
-            if is_system_module(frame.module):
+            if self.is_system(frame.module):
                 split = position
                 break
-        app, system = list(frames[:split]), list(frames[split:])
         if self.strict:
-            for frame in system:
-                if is_app_module(frame.module):
+            for frame in frames[split:]:
+                if not self.is_system(frame.module):
                     raise StackPartitionError(
                         f"app frame {frame.module}!{frame.function} below a "
                         f"system frame at index {frame.index}"
                     )
-        return app, system
+        return split
+
+    def partition(
+        self, frames: Sequence[StackFrame]
+    ) -> Tuple[List[StackFrame], List[StackFrame]]:
+        split = self.split_index(frames)
+        return list(frames[:split]), list(frames[split:])
 
     def app_stack(self, event: EventRecord) -> List[StackFrame]:
         return self.partition(event.frames)[0]

@@ -39,14 +39,40 @@ def squared_distances(X: np.ndarray, Y: np.ndarray) -> np.ndarray:
 
 
 def gaussian_kernel(sigma2: float) -> Kernel:
-    """The paper's Gaussian kernel ``K(x, y) = exp(−‖x−y‖² / (2σ²))``."""
+    """The paper's Gaussian kernel ``K(x, y) = exp(−‖x−y‖² / (2σ²))``.
+
+    The returned callable carries a ``sigma2`` attribute so consumers
+    (model persistence, the cached scoring fast path in
+    :class:`repro.learning.svm.KernelSVM`) can recognize a Gaussian
+    kernel and recover its width without re-deriving it.
+    """
     if sigma2 <= 0:
         raise ValueError("sigma2 must be positive")
 
     def kernel(X: np.ndarray, Y: np.ndarray) -> np.ndarray:
         return np.exp(-squared_distances(X, Y) / (2.0 * sigma2))
 
+    kernel.sigma2 = float(sigma2)
     return kernel
+
+
+def gaussian_cross_kernel(
+    X: np.ndarray, Y: np.ndarray, y_norms: np.ndarray, sigma2: float
+) -> np.ndarray:
+    """``gaussian_kernel(sigma2)(X, Y)`` with ``Σ yᵢ²`` precomputed.
+
+    The ‖x‖²+‖y‖²−2x·y expansion is evaluated in exactly the same
+    operation order as :func:`squared_distances`, so the result is
+    bit-identical to the uncached kernel; the only difference is that
+    the row norms of ``Y`` (the support vectors, fixed after training)
+    are not recomputed on every call.
+    """
+    x_norms = np.sum(X * X, axis=1)
+    squared = x_norms[:, None] + y_norms[None, :] - 2.0 * (X @ Y.T)
+    np.maximum(squared, 0.0, out=squared)
+    squared /= 2.0 * sigma2
+    np.negative(squared, out=squared)
+    return np.exp(squared, out=squared)
 
 
 class PrecomputedKernel:

@@ -41,7 +41,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.learning.kernels import Kernel, linear_kernel
+from repro.learning.kernels import Kernel, gaussian_cross_kernel, linear_kernel
 
 _EPS = 1e-8
 
@@ -86,6 +86,11 @@ class KernelSVM:
         self.converged_: bool = False
         self._sv_X: Optional[np.ndarray] = None
         self._sv_coef: Optional[np.ndarray] = None
+        # scoring fast path (Gaussian kernels): compacted SV matrix,
+        # its coefficients, and cached row norms — see _refresh_scoring_cache
+        self._score_X: Optional[np.ndarray] = None
+        self._score_coef: Optional[np.ndarray] = None
+        self._score_norms: Optional[np.ndarray] = None
 
     # -- training ------------------------------------------------------
     def fit(
@@ -193,6 +198,7 @@ class KernelSVM:
         self._sv_X = X[support] if X is not None else None
         self._sv_coef = alpha[support] * y[support]
         self.support_ = np.flatnonzero(support)
+        self._refresh_scoring_cache()
         self.n_sweeps_ = sweeps
         self.converged_ = passes >= self.max_passes
         if not self.converged_:
@@ -290,11 +296,37 @@ class KernelSVM:
         return True
 
     # -- inference -----------------------------------------------------
+    def _refresh_scoring_cache(self) -> None:
+        """(Re)build the no-Gram scoring fast path from the fitted SVs.
+
+        Compacts away coefficients that are exactly zero (the solver
+        never produces them — support requires ``α > ε`` — but loaded or
+        hand-built models may) and caches the SV row norms so
+        ``decision_function`` can use the ‖x‖²+‖y‖²−2x·y expansion
+        without recomputing ``Σ svᵢ²`` for every scoring chunk.  Called
+        by :meth:`fit` and by model persistence after restoring SVs.
+        """
+        if self._sv_X is None or self._sv_coef is None:
+            self._score_X = self._score_coef = self._score_norms = None
+            return
+        keep = np.flatnonzero(self._sv_coef != 0.0)
+        if len(keep) < len(self._sv_coef):
+            self._score_X = self._sv_X[keep]
+            self._score_coef = self._sv_coef[keep]
+        else:
+            self._score_X = self._sv_X
+            self._score_coef = self._sv_coef
+        self._score_norms = np.sum(self._score_X * self._score_X, axis=1)
+
     def decision_function(
         self, X: Optional[np.ndarray] = None, gram: Optional[np.ndarray] = None
     ) -> np.ndarray:
         """Decision values for ``X``, or for a precomputed cross-kernel
-        ``gram`` of shape ``(m, n_train)`` against the training set."""
+        ``gram`` of shape ``(m, n_train)`` against the training set.
+
+        With zero support vectors both branches return the constant
+        intercept as ``np.full(m, b)`` — same shape and dtype either way.
+        """
         if self.alpha is None:
             raise RuntimeError("KernelSVM.decision_function before fit")
         if gram is not None:
@@ -304,18 +336,29 @@ class KernelSVM:
                     f"gram must be (m, {len(self.alpha)}), got {gram.shape}"
                 )
             if len(self.support_) == 0:
-                return np.full(len(gram), self.b)
+                return np.full(gram.shape[0], float(self.b))
             return gram[:, self.support_] @ self._sv_coef + self.b
         if X is None:
             raise ValueError("decision_function needs X or gram")
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError(f"X must be (m, d), got shape {X.shape}")
+        if len(self.support_) == 0:
+            return np.full(X.shape[0], float(self.b))
         if self._sv_X is None:
             raise RuntimeError(
                 "model was fit from a precomputed gram without X; "
                 "pass gram= to decision_function/predict"
             )
-        X = np.asarray(X, dtype=float)
-        if len(self._sv_X) == 0:
-            return np.full(len(X), self.b)
+        sigma2 = getattr(self.kernel, "sigma2", None)
+        if sigma2 is not None and self._score_norms is not None:
+            # Gaussian fast path: cached SV norms + compacted SV matrix.
+            # Bit-identical to self.kernel(X, self._sv_X) — the expansion
+            # is evaluated in the same operation order (see
+            # kernels.gaussian_cross_kernel), and compaction only ever
+            # removes exact-zero coefficients.
+            K = gaussian_cross_kernel(X, self._score_X, self._score_norms, sigma2)
+            return K @ self._score_coef + self.b
         return self.kernel(X, self._sv_X) @ self._sv_coef + self.b
 
     def predict(

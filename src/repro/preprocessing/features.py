@@ -18,11 +18,20 @@ makes featurization deterministic for a fixed training corpus.  (The
 full UPGMA clustering of the paper's Figure 2 collapses *similar* —
 rather than identical — attributes to one id; that refinement lands
 with ``repro.preprocessing.clustering``.)
+
+Scan fast path: production logs are highly repetitive — thousands of
+events collapse to a few dozen distinct ``(etype, app-path,
+system-path)`` attribute triples — so once the vocabularies are frozen,
+resolved id rows are memoized per triple.  :meth:`transform` fills one
+preallocated ``(n, 3)`` array through that memo, and
+:meth:`transform_event` returns a cached read-only row, so streaming
+scans stop re-resolving identical stacks.  Cached or not, the emitted
+values are bit-identical to the uncached lookups.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, Sequence, Tuple
 
 import numpy as np
 
@@ -31,6 +40,9 @@ from repro.etw.stack_partition import StackPartitioner
 
 #: Reserved id for attribute values never seen during training.
 UNKNOWN_ID = 0
+
+#: One event's attribute triple: (etype, app signature, system signature).
+AttributeTriple = Tuple[Hashable, Hashable, Hashable]
 
 
 class Vocabulary:
@@ -49,6 +61,10 @@ class Vocabulary:
 
     def lookup(self, key: Hashable) -> int:
         return self._ids.get(key, UNKNOWN_ID)
+
+    def keys(self):
+        """Keys in first-appearance (id) order."""
+        return self._ids.keys()
 
     def freeze(self) -> None:
         self.frozen = True
@@ -72,17 +88,34 @@ class EventFeaturizer:
         self.app_vocab = Vocabulary()
         self.system_vocab = Vocabulary()
         self.fitted = False
+        # attribute triple → resolved (etype_id, app_id, system_id);
+        # valid only after the vocabularies are frozen in fit()
+        self._id_cache: Dict[AttributeTriple, Tuple[int, int, int]] = {}
+        # resolved id triple → shared read-only feature row
+        self._row_cache: Dict[Tuple[int, int, int], np.ndarray] = {}
+        # (category, opcode, name, frames) → resolved ids: short-circuits
+        # the attribute-triple construction itself, which is the dominant
+        # per-event cost once ids are memoized.  Keying on the raw frames
+        # tuple is sound because the attribute triple is a pure function
+        # of (etype, frames); cheap because the parser interns frames and
+        # StackFrame caches its hash.
+        self._event_cache: Dict[tuple, Tuple[int, int, int]] = {}
 
     # -- attribute extraction -----------------------------------------
-    def attributes(
-        self, event: EventRecord
-    ) -> Tuple[Hashable, Hashable, Hashable]:
-        app = tuple(self.partitioner.app_path(event))
-        system = tuple(self.partitioner.system_path(event))
+    def attributes(self, event: EventRecord) -> AttributeTriple:
+        """One partition pass per event (the pre-fast-path version
+        partitioned twice, once per stack half)."""
+        frames = event.frames
+        split = self.partitioner.split_index(frames)
+        app = tuple((frame.module, frame.function) for frame in frames[:split])
+        system = tuple((frame.module, frame.function) for frame in frames[split:])
         return (event.etype, app, system)
 
     # -- fit / transform ----------------------------------------------
     def fit(self, *event_streams: Iterable[EventRecord]) -> "EventFeaturizer":
+        self._id_cache.clear()
+        self._row_cache.clear()
+        self._event_cache.clear()
         for stream in event_streams:
             for event in stream:
                 etype, app, system = self.attributes(event)
@@ -95,35 +128,54 @@ class EventFeaturizer:
         self.fitted = True
         return self
 
-    def transform_event(self, event: EventRecord) -> np.ndarray:
-        """Feature row for one event — the streaming-scan unit; equals
-        the corresponding row of :meth:`transform` bit for bit."""
-        if not self.fitted:
-            raise RuntimeError("EventFeaturizer.transform before fit")
-        etype, app, system = self.attributes(event)
-        return np.array(
-            (
+    def _resolve(self, attrs: AttributeTriple) -> Tuple[int, int, int]:
+        """Vocabulary ids for one attribute triple, through the memo."""
+        ids = self._id_cache.get(attrs)
+        if ids is None:
+            etype, app, system = attrs
+            ids = (
                 self.etype_vocab.lookup(etype),
                 self.app_vocab.lookup(app),
                 self.system_vocab.lookup(system),
-            ),
-            dtype=float,
-        )
+            )
+            self._id_cache[attrs] = ids
+        return ids
+
+    def _resolve_event(self, event: EventRecord) -> Tuple[int, int, int]:
+        """Vocabulary ids for one event, through the event-level memo."""
+        key = (event.category, event.opcode, event.name, event.frames)
+        ids = self._event_cache.get(key)
+        if ids is None:
+            ids = self._resolve(self.attributes(event))
+            self._event_cache[key] = ids
+        return ids
+
+    def transform_event(self, event: EventRecord) -> np.ndarray:
+        """Feature row for one event — the streaming-scan unit; equals
+        the corresponding row of :meth:`transform` bit for bit.
+
+        Returns a shared read-only array per distinct attribute triple;
+        copy before mutating.
+        """
+        if not self.fitted:
+            raise RuntimeError("EventFeaturizer.transform before fit")
+        ids = self._resolve_event(event)
+        row = self._row_cache.get(ids)
+        if row is None:
+            row = np.array(ids, dtype=float)
+            row.setflags(write=False)
+            self._row_cache[ids] = row
+        return row
 
     def transform(self, events: Sequence[EventRecord]) -> np.ndarray:
         if not self.fitted:
             raise RuntimeError("EventFeaturizer.transform before fit")
-        rows: List[Tuple[int, int, int]] = []
-        for event in events:
-            etype, app, system = self.attributes(event)
-            rows.append(
-                (
-                    self.etype_vocab.lookup(etype),
-                    self.app_vocab.lookup(app),
-                    self.system_vocab.lookup(system),
-                )
-            )
-        return np.asarray(rows, dtype=float).reshape(len(rows), self.DIMS)
+        out = np.empty((len(events), self.DIMS), dtype=float)
+        resolve_event = self._resolve_event
+        rows = [resolve_event(event) for event in events]
+        if rows:
+            out[:] = rows
+        return out
 
     def fit_transform(self, events: Sequence[EventRecord]) -> np.ndarray:
         self.fit(events)

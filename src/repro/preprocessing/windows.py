@@ -49,23 +49,42 @@ class WindowCoalescer:
             return range(0)
         return range(0, count - self.window_events + 1, self.stride)
 
+    def _gather(self, features: np.ndarray, starts: np.ndarray) -> np.ndarray:
+        """All window vectors in one fancy-indexed gather — one numpy
+        call instead of a per-window slice/concatenate; values are
+        bit-identical to the per-window construction."""
+        offsets = np.arange(self.window_events)
+        rows = np.asarray(features, dtype=float)[starts[:, None] + offsets]
+        return rows.reshape(len(starts), -1)
+
+    def coalesce_with_matrix(
+        self, features: np.ndarray, events: Sequence[EventRecord]
+    ) -> Tuple[List[Window], np.ndarray]:
+        """:meth:`coalesce` plus the stacked ``(m, 3*window)`` sample
+        matrix, built in one pass — each ``Window.vector`` is a row view
+        of the returned matrix."""
+        if len(features) != len(events):
+            raise ValueError("features/events length mismatch")
+        starts = np.asarray(self._starts(len(events)), dtype=np.intp)
+        if not len(starts):
+            return [], np.zeros((0, self.dims))
+        matrix = self._gather(features, starts)
+        last = self.window_events - 1
+        windows = [
+            Window(
+                start_index=int(start),
+                start_eid=events[start].eid,
+                end_eid=events[start + last].eid,
+                vector=matrix[position],
+            )
+            for position, start in enumerate(starts)
+        ]
+        return windows, matrix
+
     def coalesce(
         self, features: np.ndarray, events: Sequence[EventRecord]
     ) -> List[Window]:
-        if len(features) != len(events):
-            raise ValueError("features/events length mismatch")
-        windows: List[Window] = []
-        for start in self._starts(len(events)):
-            stop = start + self.window_events
-            windows.append(
-                Window(
-                    start_index=start,
-                    start_eid=events[start].eid,
-                    end_eid=events[stop - 1].eid,
-                    vector=features[start:stop].reshape(-1),
-                )
-            )
-        return windows
+        return self.coalesce_with_matrix(features, events)[0]
 
     def iter_coalesce(
         self, pairs: Iterable[Tuple[EventRecord, np.ndarray]]
@@ -94,13 +113,10 @@ class WindowCoalescer:
 
     def coalesce_matrix(self, features: np.ndarray) -> np.ndarray:
         """Window vectors only, stacked into an ``(m, 3*window)`` matrix."""
-        rows = [
-            features[start : start + self.window_events].reshape(-1)
-            for start in self._starts(len(features))
-        ]
-        if not rows:
+        starts = np.asarray(self._starts(len(features)), dtype=np.intp)
+        if not len(starts):
             return np.zeros((0, self.dims))
-        return np.stack(rows)
+        return self._gather(features, starts)
 
     def window_weights(
         self, event_weights: np.ndarray, aggregate: str = "mean"

@@ -110,6 +110,16 @@ class TestTinyPipeline:
     def test_short_scan_log_yields_no_windows(self, detector):
         assert detector.scan_log(make_log([("read", APP + SYS)])) == []
 
+    def test_alert_summary_accepts_generator(self, detector):
+        """Regression: alert_summary used len() and crashed on the
+        scan_stream generator; it must count any iterable in one pass."""
+        lines = make_log([("beacon", PAYLOAD + NET)] * 6)
+        assert detector.alert_summary(detector.scan_stream(lines)) == (5, 5)
+        assert detector.alert_summary(iter([])) == (0, 0)
+        # unchanged on sequences
+        scan = detector.scan_log(lines)
+        assert detector.alert_summary(scan) == (len(scan), len(scan))
+
 
 class TestPipelineErrors:
     def test_scan_before_train(self):

@@ -61,6 +61,51 @@ def test_bench_train_quick_emits_valid_json(data_dir, tmp_path):
     assert 0.0 <= dataset["acc"]["overall"] <= 1.0
 
 
+REQUIRED_SCAN_DATASET_KEYS = {
+    "dataset", "dataset_dir", "seed", "n_sv", "logs", "totals",
+    "persistence", "fleet",
+}
+
+
+def test_bench_scan_quick_emits_valid_json(data_dir, tmp_path):
+    output = tmp_path / "BENCH_scan.json"
+    env = {**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")}
+    completed = subprocess.run(
+        [
+            sys.executable,
+            str(REPO_ROOT / "benchmarks" / "bench_scan.py"),
+            "--quick",
+            "--datasets", "notepad++_reverse_tcp_online",
+            "--output", str(output),
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+
+    payload = json.loads(output.read_text())
+    assert payload["schema"] == "leaps-bench-scan/v1"
+    assert {"created_utc", "host", "config", "datasets", "summary"} <= set(payload)
+    assert payload["summary"]["datasets"] == 1
+    assert payload["summary"]["min_scan_speedup"] > 0
+    assert payload["summary"]["all_bit_identical"] is True
+
+    (dataset,) = payload["datasets"]
+    assert REQUIRED_SCAN_DATASET_KEYS <= set(dataset)
+    assert set(dataset["logs"]) == {"benign", "mixed", "malicious"}
+    for log in dataset["logs"].values():
+        # the harness aborts on divergence, but assert the verdicts too
+        assert log["detections_bit_identical"] is True
+        assert log["events"] > 0 and log["windows"] > 0
+    assert dataset["persistence"]["roundtrip_bit_identical"] is True
+    assert dataset["persistence"]["bundle_bytes"] > 0
+    assert dataset["fleet"]["identical"] is True
+    assert dataset["totals"]["speedup"] > 0
+
+
 def test_bench_ingest_emits_valid_json(data_dir, tmp_path):
     output = tmp_path / "BENCH_ingest.json"
     env = {**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")}

@@ -1,0 +1,156 @@
+"""Model bundle persistence: save → load → scan round trips bit-identically."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import BundleError, BundleVersionError, LeapsConfig, LeapsDetector
+from repro.core.persistence import JSON_NAME, NPZ_NAME, SCHEMA, save_bundle
+
+from tests.test_api import make_log
+from tests.test_stream_scan import SCAN_SPECS, tiny_detector
+
+
+@pytest.fixture(scope="module")
+def trained():
+    return tiny_detector()
+
+
+@pytest.fixture
+def bundle(trained, tmp_path):
+    return trained.save(tmp_path / "bundle")
+
+
+class TestRoundTrip:
+    def test_save_returns_bundle_dir_with_both_files(self, bundle):
+        assert (bundle / JSON_NAME).is_file()
+        assert (bundle / NPZ_NAME).is_file()
+
+    def test_loaded_detector_is_trained(self, bundle):
+        loaded = LeapsDetector.load(bundle)
+        assert loaded.trained
+        # training-time artifacts are deliberately not persisted
+        assert loaded.report is None
+        assert loaded.benign_cfg is None
+
+    def test_config_round_trips_exactly(self, trained, bundle):
+        assert LeapsDetector.load(bundle).config == trained.config
+
+    def test_model_state_round_trips_byte_exactly(self, trained, bundle):
+        saved = trained.pipeline.model
+        loaded = LeapsDetector.load(bundle).pipeline.model
+        assert np.array_equal(loaded._sv_X, saved._sv_X)
+        assert np.array_equal(loaded._sv_coef, saved._sv_coef)
+        assert np.array_equal(loaded.support_, saved.support_)
+        assert np.array_equal(loaded.alpha, saved.alpha)
+        assert loaded.b == saved.b
+        assert loaded.kernel.sigma2 == saved.kernel.sigma2
+
+    def test_scan_after_load_is_bit_identical(self, trained, bundle):
+        lines = make_log(SCAN_SPECS)
+        assert LeapsDetector.load(bundle).scan_log(lines) == trained.scan_log(lines)
+
+    def test_unseen_attributes_still_map_to_unknown(self, trained, bundle):
+        """The frozen vocabularies must stay frozen through the round
+        trip: novel stacks resolve to UNKNOWN, not to fresh ids."""
+        loaded = LeapsDetector.load(bundle)
+        novel = make_log([("novel", [("other.exe", "main")])] * 4)
+        assert loaded.scan_log(novel) == trained.scan_log(novel)
+
+    def test_save_overwrites_in_place(self, trained, bundle):
+        again = trained.save(bundle)
+        assert again == bundle
+        lines = make_log(SCAN_SPECS)
+        assert LeapsDetector.load(bundle).scan_log(lines) == trained.scan_log(lines)
+
+
+class TestSaveErrors:
+    def test_untrained_pipeline_rejected(self, tmp_path):
+        with pytest.raises(BundleError, match="untrained"):
+            LeapsDetector().save(tmp_path / "bundle")
+
+    def test_kernel_without_sigma2_rejected(self, tmp_path):
+        detector = tiny_detector()
+        del detector.pipeline.model.kernel.sigma2
+        with pytest.raises(BundleError, match="sigma2"):
+            detector.save(tmp_path / "bundle")
+
+    def test_gram_only_model_rejected(self, tmp_path):
+        detector = tiny_detector()
+        detector.pipeline.model._sv_X = None
+        with pytest.raises(BundleError, match="support"):
+            detector.save(tmp_path / "bundle")
+
+
+class TestLoadErrors:
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(BundleError, match="not a model bundle"):
+            LeapsDetector.load(tmp_path / "nowhere")
+
+    def test_missing_npz(self, bundle):
+        (bundle / NPZ_NAME).unlink()
+        with pytest.raises(BundleError, match="not a model bundle"):
+            LeapsDetector.load(bundle)
+
+    def test_corrupt_json(self, bundle):
+        (bundle / JSON_NAME).write_text("{not json")
+        with pytest.raises(BundleError, match="unparseable"):
+            LeapsDetector.load(bundle)
+
+    def test_unknown_schema_version_rejected(self, bundle):
+        doc = json.loads((bundle / JSON_NAME).read_text())
+        doc["schema"] = "leaps-model/v999"
+        (bundle / JSON_NAME).write_text(json.dumps(doc))
+        with pytest.raises(BundleVersionError, match=SCHEMA):
+            LeapsDetector.load(bundle)
+
+    def test_inconsistent_array_counts_rejected(self, bundle):
+        doc = json.loads((bundle / JSON_NAME).read_text())
+        doc["svm"]["n_sv"] += 1
+        (bundle / JSON_NAME).write_text(json.dumps(doc))
+        with pytest.raises(BundleError, match="inconsistent"):
+            LeapsDetector.load(bundle)
+
+    def test_unknown_config_key_rejected(self, bundle):
+        doc = json.loads((bundle / JSON_NAME).read_text())
+        doc["config"]["window_evnets"] = 10
+        doc["config"].pop("window_events")
+        (bundle / JSON_NAME).write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="unknown LeapsConfig keys"):
+            LeapsDetector.load(bundle)
+
+
+def test_save_bundle_is_detector_save(trained, tmp_path):
+    """The pipeline-level entry point and the detector method agree."""
+    a = save_bundle(trained.pipeline, tmp_path / "a")
+    b = trained.save(tmp_path / "b")
+    assert (a / JSON_NAME).read_text() == (b / JSON_NAME).read_text()
+
+
+@pytest.mark.e2e
+class TestGoldenRoundTrip:
+    @pytest.fixture(scope="class")
+    def golden(self, e2e_dataset, tmp_path_factory):
+        config = LeapsConfig(
+            lam_grid=(1.0,),
+            sigma2_grid=(30.0,),
+            cv_folds=0,
+            max_train_windows=400,
+            seed=0,
+        )
+        detector = LeapsDetector(config)
+        detector.train_from_logs(
+            (e2e_dataset / "benign.log").read_text().splitlines(),
+            (e2e_dataset / "mixed.log").read_text().splitlines(),
+        )
+        bundle = detector.save(tmp_path_factory.mktemp("bundle") / "model")
+        return detector, LeapsDetector.load(bundle)
+
+    @pytest.mark.parametrize("log", ["benign.log", "mixed.log", "malicious.log"])
+    def test_loaded_scan_equals_in_memory(self, golden, e2e_dataset, log):
+        detector, loaded = golden
+        lines = (e2e_dataset / log).read_text().splitlines()
+        in_memory = detector.scan_log(lines)
+        assert loaded.scan_log(lines) == in_memory
+        assert in_memory  # non-vacuous: every golden log yields windows

@@ -1,0 +1,221 @@
+"""Scan fast path: vectorized featurization and the parallel fleet scan.
+
+The fast path must be invisible in the results: ``transform`` equals
+stacked ``transform_event`` rows bit for bit, ``scan_log`` equals the
+streaming scan, and ``scan_logs`` returns the same detections for any
+worker count or executor flavor.
+"""
+
+import numpy as np
+import pytest
+
+from repro import LeapsDetector, ScanResult
+from repro.core.pipeline import NotTrainedError
+from repro.etw.parser import RawLogParser
+from repro.preprocessing.features import EventFeaturizer
+
+from tests.test_api import APP, NET, PAYLOAD, SYS, make_log
+from tests.test_golden_logs import ALL_LOGS, read_header
+from tests.test_stream_scan import SCAN_SPECS, tiny_detector
+
+
+class TestVectorizedTransform:
+    def fitted(self, events):
+        return EventFeaturizer().fit(events)
+
+    def test_matches_stacked_transform_event_rows(self):
+        events = RawLogParser().parse_lines(make_log(SCAN_SPECS))
+        featurizer = self.fitted(events)
+        batch = featurizer.transform(events)
+        rows = np.stack([featurizer.transform_event(e) for e in events])
+        assert batch.shape == (len(events), 3)
+        assert np.array_equal(batch, rows)
+
+    def test_unseen_attributes_hit_unknown_id(self):
+        featurizer = self.fitted(
+            RawLogParser().parse_lines(make_log([("read", APP + SYS)] * 4))
+        )
+        novel = RawLogParser().parse_lines(make_log([("beacon", PAYLOAD + NET)] * 2))
+        batch = featurizer.transform(novel)
+        rows = np.stack([featurizer.transform_event(e) for e in novel])
+        assert np.array_equal(batch, rows)
+        assert (batch[:, 1] == 0).all()  # app signature never trained
+
+    def test_empty_transform_shape(self):
+        featurizer = self.fitted(
+            RawLogParser().parse_lines(make_log([("read", APP + SYS)] * 4))
+        )
+        assert featurizer.transform([]).shape == (0, 3)
+
+    def test_transform_event_rows_are_shared_and_read_only(self):
+        events = RawLogParser().parse_lines(make_log([("read", APP + SYS)] * 3))
+        featurizer = self.fitted(events)
+        first = featurizer.transform_event(events[0])
+        second = featurizer.transform_event(events[1])
+        assert first is second  # identical attributes share one row
+        with pytest.raises(ValueError):
+            first[0] = 99.0
+
+    def test_unfitted_transform_raises(self):
+        with pytest.raises(RuntimeError, match="before fit"):
+            EventFeaturizer().transform([])
+
+
+@pytest.mark.parametrize("relpath", ALL_LOGS)
+def test_transform_matches_event_rows_on_golden_heads(relpath):
+    """Property over every golden log head: the vectorized batch path
+    and the per-event streaming path produce bit-identical rows."""
+    events = RawLogParser().parse_lines(read_header(relpath))
+    assert events
+    featurizer = EventFeaturizer().fit(events)
+    batch = featurizer.transform(events)
+    rows = np.stack([featurizer.transform_event(e) for e in events])
+    assert np.array_equal(batch, rows), relpath
+
+
+class TestScanLogFastPath:
+    def test_scan_log_equals_stream_bit_identically(self):
+        detector = tiny_detector()
+        lines = make_log(SCAN_SPECS)
+        assert detector.scan_log(lines) == list(detector.scan_stream(lines))
+
+    def test_scan_log_accepts_iterator(self):
+        detector = tiny_detector()
+        lines = make_log(SCAN_SPECS)
+        assert detector.scan_log(iter(lines)) == detector.scan_log(lines)
+
+    def test_score_events_chunking_is_invisible(self):
+        """Chunked scoring (tiny chunks) and one-chunk scoring agree to
+        float64 noise, and identical chunk sizes are bit-identical."""
+        small = tiny_detector(stream_chunk_windows=3)
+        big = tiny_detector(stream_chunk_windows=1 << 20)
+        events = RawLogParser().parse_lines(make_log(SCAN_SPECS))
+        _, chunked = small.pipeline.score_events(events)
+        _, whole = big.pipeline.score_events(events)
+        np.testing.assert_allclose(chunked, whole, rtol=0, atol=1e-12)
+
+
+class TestFleetScan:
+    @pytest.fixture(scope="class")
+    def detector(self):
+        return tiny_detector()
+
+    @pytest.fixture(scope="class")
+    def fleet(self, tmp_path_factory):
+        """Three distinct on-disk logs: benign, mixed, payload-only."""
+        root = tmp_path_factory.mktemp("fleet")
+        logs = {
+            "clean.log": make_log([("read", APP + SYS)] * 8),
+            # blocked layout: some windows are purely benign, some not
+            "mixed.log": make_log(
+                [("read", APP + SYS)] * 4
+                + [("beacon", PAYLOAD + NET)] * 4
+                + [("read", APP + SYS)] * 4
+            ),
+            "owned.log": make_log([("beacon", PAYLOAD + NET)] * 8),
+        }
+        paths = []
+        for name, lines in logs.items():
+            path = root / name
+            path.write_text("\n".join(lines) + "\n")
+            paths.append(str(path))
+        return paths
+
+    def test_serial_matches_scan_log(self, detector, fleet):
+        results = detector.scan_logs(fleet)
+        assert [r.source for r in results] == fleet
+        for result, path in zip(results, fleet):
+            with open(path) as handle:
+                assert result.detections == detector.scan_log(handle)
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    @pytest.mark.parametrize("n_jobs", [2, 3])
+    def test_parallel_equals_serial(self, detector, fleet, executor, n_jobs):
+        serial = detector.scan_logs(fleet)
+        parallel = detector.scan_logs(fleet, n_jobs=n_jobs, executor=executor)
+        assert [r.source for r in parallel] == [r.source for r in serial]
+        assert [r.detections for r in parallel] == [r.detections for r in serial]
+
+    def test_accepts_iterables_and_paths_mixed(self, detector, fleet):
+        lines = make_log(SCAN_SPECS)
+        results = detector.scan_logs([lines, fleet[0], iter(lines)])
+        assert [r.source for r in results] == [None, fleet[0], None]
+        assert results[0].detections == results[2].detections == detector.scan_log(lines)
+
+    def test_flagged_property(self, detector, fleet):
+        clean, mixed, owned = detector.scan_logs(fleet)
+        assert clean.flagged == 0
+        assert owned.flagged == len(owned.detections) > 0
+        assert 0 < mixed.flagged < len(mixed.detections)
+
+    def test_with_reports_accounts_every_line(self, detector, tmp_path):
+        lines = make_log(SCAN_SPECS)
+        corrupt = lines[:9] + ["@@corrupt@@"] + lines[9:]
+        path = tmp_path / "corrupt.log"
+        path.write_text("\n".join(corrupt) + "\n")
+        (result,) = detector.scan_logs(
+            [str(path)], policy="drop", with_reports=True
+        )
+        assert result.report is not None
+        assert result.report.n_issues == 1
+        assert result.report.lines_accounted == result.report.total_lines
+        assert result.detections
+
+    def test_reports_cross_process_boundary(self, detector, tmp_path):
+        lines = make_log(SCAN_SPECS)
+        path = tmp_path / "a.log"
+        path.write_text("\n".join(lines) + "\n")
+        results = detector.scan_logs(
+            [str(path), str(path)], n_jobs=2, executor="process",
+            with_reports=True,
+        )
+        for result in results:
+            assert result.report.events_yielded == len(SCAN_SPECS)
+
+    def test_without_reports_report_is_none(self, detector, fleet):
+        assert all(r.report is None for r in detector.scan_logs(fleet))
+
+    def test_empty_fleet(self, detector):
+        assert detector.scan_logs([]) == []
+        assert detector.scan_logs([], n_jobs=4) == []
+
+    def test_rejects_bad_arguments(self, detector, fleet):
+        with pytest.raises(ValueError, match="n_jobs"):
+            detector.scan_logs(fleet, n_jobs=0)
+        with pytest.raises(ValueError, match="executor"):
+            detector.scan_logs(fleet, executor="fiber")
+
+    def test_untrained_raises_before_reading_logs(self):
+        with pytest.raises(NotTrainedError):
+            LeapsDetector().scan_logs(["/nonexistent/never-touched.log"])
+
+    def test_scan_result_is_importable_dataclass(self):
+        result = ScanResult(source=None)
+        assert result.detections == []
+        assert result.flagged == 0
+
+
+@pytest.mark.e2e
+class TestGoldenFleetScan:
+    def test_parallel_fleet_scan_matches_serial_on_golden_logs(self, e2e_dataset):
+        from repro import LeapsConfig
+
+        config = LeapsConfig(
+            lam_grid=(1.0,), sigma2_grid=(30.0,), cv_folds=0,
+            max_train_windows=400, seed=0,
+        )
+        detector = LeapsDetector(config)
+        detector.train_from_logs(
+            (e2e_dataset / "benign.log").read_text().splitlines(),
+            (e2e_dataset / "mixed.log").read_text().splitlines(),
+        )
+        paths = [
+            str(e2e_dataset / log)
+            for log in ("benign.log", "mixed.log", "malicious.log")
+        ]
+        serial = detector.scan_logs(paths)
+        thread = detector.scan_logs(paths, n_jobs=2, executor="thread")
+        process = detector.scan_logs(paths, n_jobs=2, executor="process")
+        assert [r.detections for r in serial] == [r.detections for r in thread]
+        assert [r.detections for r in serial] == [r.detections for r in process]
+        assert all(r.detections for r in serial)

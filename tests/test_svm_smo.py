@@ -117,6 +117,60 @@ class TestGaussianKernelSVM:
         assert first.b == second.b
 
 
+class TestZeroSupportVectors:
+    """A model can legitimately end up with no support vectors (e.g.
+    every per-sample bound is zero); both decision_function branches
+    must then return the same constant-intercept vector."""
+
+    @pytest.fixture
+    def empty_model(self):
+        X = np.array([[1.0], [-1.0], [2.0]])
+        y = np.array([1.0, -1.0, 1.0])
+        model = WeightedSVM(kernel=gaussian_kernel(1.0), lam=10.0)
+        model.fit(X, y, c=np.zeros(3))
+        assert len(model.support_) == 0
+        return model, X
+
+    def test_x_branch_shape_and_value(self, empty_model):
+        model, X = empty_model
+        scores = model.decision_function(X)
+        assert scores.shape == (3,)
+        assert np.array_equal(scores, np.full(3, model.b))
+
+    def test_gram_branch_matches_x_branch(self, empty_model):
+        """Regression: the gram branch used to return a differently
+        shaped result than the no-gram branch with zero SVs."""
+        model, X = empty_model
+        gram = gaussian_kernel(1.0)(X, X)
+        from_gram = model.decision_function(gram=gram)
+        from_x = model.decision_function(X)
+        assert from_gram.shape == from_x.shape == (3,)
+        assert np.array_equal(from_gram, from_x)
+        assert from_gram.dtype == from_x.dtype
+
+
+class TestGaussianScoringFastPath:
+    def test_cached_norm_path_is_bit_identical_to_kernel_call(self):
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(40, 4))
+        y = np.where(X[:, 0] - X[:, 2] > 0, 1.0, -1.0)
+        model = WeightedSVM(kernel=gaussian_kernel(2.0), lam=5.0).fit(X, y)
+        assert len(model.support_)
+        probe = rng.normal(size=(17, 4))
+        fast = model.decision_function(probe)
+        reference = model.kernel(probe, model._sv_X) @ model._sv_coef + model.b
+        assert np.array_equal(fast, reference)
+
+    def test_non_gaussian_kernel_still_scores(self):
+        rng = np.random.default_rng(6)
+        X = rng.normal(size=(20, 2))
+        y = np.where(X.sum(axis=1) > 0, 1.0, -1.0)
+        model = KernelSVM(kernel=linear_kernel, C=1.0).fit(X, y)
+        probe = rng.normal(size=(5, 2))
+        reference = linear_kernel(probe, model._sv_X) @ model._sv_coef + model.b
+        assert np.array_equal(model.decision_function(probe), reference)
+
+
 class TestValidation:
     def test_rejects_non_pm1_labels(self):
         with pytest.raises(ValueError, match="±1"):
