@@ -55,11 +55,18 @@ def main() -> int:
     print(f"chosen (λ, σ²):     ({report.grid.lam}, {report.grid.sigma2})")
 
     # Per-stage wall time from the pipeline's instrumentation — the
-    # quickstart doubles as a minimal perf demo (see benchmarks/).
+    # quickstart doubles as a minimal perf demo (see benchmarks/).  The
+    # first four stages are the program-analysis "prepare" phase
+    # (Algorithms 1 and 2); the rest is model selection.
+    prepare_stages = ("parse", "partition", "cfg_inference", "weights")
     total = sum(seconds for _, seconds in report.stage_seconds)
+    prepare = sum(s for stage, s in report.stage_seconds if stage in prepare_stages)
     print("stage timings:")
     for stage, seconds in report.stage_seconds:
         print(f"  {stage:<14} {seconds * 1000:9.1f} ms  ({seconds / total:5.1%})")
+    print(f"  {'prepare':<14} {prepare * 1000:9.1f} ms  (parse + partition"
+          " + cfg_inference + weights)")
+    print(f"  {'model select':<14} {(total - prepare) * 1000:9.1f} ms")
     print(f"  {'total':<14} {total * 1000:9.1f} ms")
 
     # 3. Scan production logs.

@@ -101,6 +101,32 @@ class LeapsDetector:
         mixed log of the compromised application."""
         return self.pipeline.train(benign_lines, mixed_lines)
 
+    def fit_logs(
+        self,
+        benign_logs: Iterable[Union[str, os.PathLike, Iterable[str]]],
+        mixed_logs: Iterable[Union[str, os.PathLike, Iterable[str]]],
+    ) -> TrainingReport:
+        """Train from a *fleet* of benign and mixed logs.
+
+        Each item is a log path (``str``/``os.PathLike``) or an iterable
+        of raw lines — the same addressing as :meth:`scan_logs`.  Logs
+        are parsed and coalesced independently (windows and Algorithm-1
+        implicit edges never span a capture boundary); the per-log CFGs
+        are inferred in parallel over ``LeapsConfig.n_jobs`` workers and
+        merged.  With one log per class this is exactly
+        :meth:`train_from_logs`.
+        """
+        return self.pipeline.train_many(
+            [self._log_lines(item) for item in benign_logs],
+            [self._log_lines(item) for item in mixed_logs],
+        )
+
+    @staticmethod
+    def _log_lines(item: Union[str, os.PathLike, Iterable[str]]) -> Iterable[str]:
+        if isinstance(item, (str, os.PathLike)):
+            return Path(os.fspath(item)).read_text().splitlines()
+        return item
+
     @property
     def trained(self) -> bool:
         return self.pipeline.model is not None

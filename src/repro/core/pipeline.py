@@ -6,6 +6,17 @@ the benign CFG (Algorithm 2) → featurize (3-tuples), coalesce into
 30-dim windows, standardize → CV grid search → train the Weighted SVM
 with ``0 ≤ αᵢ ≤ λ·cᵢ``.
 
+Training accepts a *fleet* of logs per class
+(:meth:`LeapsPipeline.train_many` / ``LeapsDetector.fit_logs``): each
+log is parsed, partitioned, and window-coalesced independently (windows
+never span a log boundary, and Algorithm-1 implicit edges are never
+drawn across captures), per-log CFGs are inferred via
+``CFGInferencer.infer_many`` — sharded over ``LeapsConfig.n_jobs``
+workers with a merge that preserves edge kinds — and the per-log
+window blocks are stacked in input order.  The single-log
+:meth:`LeapsPipeline.train` is the one-log special case of the same
+code path.
+
 The grid search runs on the fast path: one
 :class:`~repro.learning.kernels.PrecomputedKernel` distance cache is
 built per training matrix, every σ² Gram is derived from it, CV cells
@@ -58,8 +69,9 @@ class TrainingReport:
     n_train_windows: int
     mean_mixed_weight: float
     grid: GridResult
-    #: (stage name, wall seconds) in execution order: parse,
-    #: cfg_inference, weights, featurize, grid_search, final_fit
+    #: (stage name, wall seconds) in execution order: parse, partition,
+    #: cfg_inference, weights, featurize, grid_search, final_fit —
+    #: the first four are the "prepare" stages (DESIGN.md §10)
     stage_seconds: Tuple[Tuple[str, float], ...] = ()
 
 
@@ -112,60 +124,99 @@ class LeapsPipeline:
         rng: Optional[np.random.Generator] = None,
     ) -> PreparedTraining:
         """Run every stage up to (but not including) model selection:
-        parse → CFGs → weights → featurize/coalesce/subsample/scale."""
+        parse → partition → CFGs → weights →
+        featurize/coalesce/subsample/scale."""
+        return self.prepare_training_many([benign_lines], [mixed_lines], rng=rng)
+
+    def prepare_training_many(
+        self,
+        benign_logs: Sequence[Iterable[str]],
+        mixed_logs: Sequence[Iterable[str]],
+        rng: Optional[np.random.Generator] = None,
+    ) -> PreparedTraining:
+        """Multi-log :meth:`prepare_training`: each item is one log's
+        raw lines.  Logs are parsed, partitioned, CFG-inferred, and
+        window-coalesced independently (no implicit edges or windows
+        across captures), then stacked in input order."""
         config = self.config
         rng = config.rng() if rng is None else rng
         timings: List[Tuple[str, float]] = []
         clock = time.perf_counter
 
         started = clock()
-        benign_events = self.parser.parse_lines(benign_lines)
-        mixed_events = self.parser.parse_lines(mixed_lines)
-        if not benign_events or not mixed_events:
+        benign_event_logs = [self.parser.parse_lines(lines) for lines in benign_logs]
+        mixed_event_logs = [self.parser.parse_lines(lines) for lines in mixed_logs]
+        if not benign_event_logs or not mixed_event_logs or any(
+            not events for events in benign_event_logs + mixed_event_logs
+        ):
             raise ValueError("training needs non-empty benign and mixed logs")
-        benign_paths = [self.partitioner.app_path(e) for e in benign_events]
-        mixed_paths = [self.partitioner.app_path(e) for e in mixed_events]
         timings.append(("parse", clock() - started))
 
-        # Algorithm 1 on both logs; Algorithm 2 against the benign CFG.
         started = clock()
-        self.benign_cfg = self.inferencer.infer(benign_paths)
-        self.mixed_cfg = self.inferencer.infer(mixed_paths)
+        benign_path_logs = [
+            [self.partitioner.app_path(e) for e in events]
+            for events in benign_event_logs
+        ]
+        mixed_path_logs = [
+            [self.partitioner.app_path(e) for e in events]
+            for events in mixed_event_logs
+        ]
+        timings.append(("partition", clock() - started))
+
+        # Algorithm 1 per log, merged per class; Algorithm 2 against the
+        # merged benign CFG.
+        started = clock()
+        self.benign_cfg = self.inferencer.infer_many(
+            benign_path_logs, n_jobs=config.n_jobs, executor=config.cv_executor
+        )
+        self.mixed_cfg = self.inferencer.infer_many(
+            mixed_path_logs, n_jobs=config.n_jobs, executor=config.cv_executor
+        )
         timings.append(("cfg_inference", clock() - started))
 
         started = clock()
         if config.weighted:
             assessor = WeightAssessor(self.benign_cfg)
-            event_weights = assessor.assess(mixed_paths)
+            weight_logs = [assessor.assess(paths) for paths in mixed_path_logs]
         else:
-            event_weights = np.ones(len(mixed_events))
+            weight_logs = [np.ones(len(events)) for events in mixed_event_logs]
         timings.append(("weights", clock() - started))
 
-        # 3-tuple features and window coalescing.
+        # 3-tuple features and window coalescing (per log: windows never
+        # span a log boundary).
         started = clock()
         self.featurizer = EventFeaturizer(self.partitioner).fit(
-            benign_events, mixed_events
+            *benign_event_logs, *mixed_event_logs
         )
-        benign_windows = self.coalescer.coalesce_matrix(
-            self.featurizer.transform(benign_events)
-        )
-        mixed_windows = self.coalescer.coalesce_matrix(
-            self.featurizer.transform(mixed_events)
-        )
-        if not len(benign_windows) or not len(mixed_windows):
+        benign_blocks = [
+            self.coalescer.coalesce_matrix(self.featurizer.transform(events))
+            for events in benign_event_logs
+        ]
+        mixed_blocks = [
+            self.coalescer.coalesce_matrix(self.featurizer.transform(events))
+            for events in mixed_event_logs
+        ]
+        n_benign_windows = sum(len(block) for block in benign_blocks)
+        n_mixed_windows = sum(len(block) for block in mixed_blocks)
+        if not n_benign_windows or not n_mixed_windows:
             raise ValueError(
                 "logs too short: need at least one full window per class "
                 f"({config.window_events} events)"
             )
-        mixed_c = self.coalescer.window_weights(
-            event_weights, aggregate=config.window_weight_agg
+        mixed_c = np.concatenate(
+            [
+                self.coalescer.window_weights(
+                    event_weights, aggregate=config.window_weight_agg
+                )
+                for event_weights in weight_logs
+            ]
         )
 
-        X = np.vstack([benign_windows, mixed_windows])
+        X = np.vstack(benign_blocks + mixed_blocks)
         y = np.concatenate(
-            [np.ones(len(benign_windows)), -np.ones(len(mixed_windows))]
+            [np.ones(n_benign_windows), -np.ones(n_mixed_windows)]
         )
-        c = np.concatenate([np.ones(len(benign_windows)), mixed_c])
+        c = np.concatenate([np.ones(n_benign_windows), mixed_c])
 
         # Data selection: deterministic subsample of training windows.
         if 0 < config.max_train_windows < len(X):
@@ -183,10 +234,10 @@ class LeapsPipeline:
             y=y,
             c=c,
             importances=c if config.weighted else None,
-            n_benign_events=len(benign_events),
-            n_mixed_events=len(mixed_events),
-            n_benign_windows=len(benign_windows),
-            n_mixed_windows=len(mixed_windows),
+            n_benign_events=sum(len(events) for events in benign_event_logs),
+            n_mixed_events=sum(len(events) for events in mixed_event_logs),
+            n_benign_windows=n_benign_windows,
+            n_mixed_windows=n_mixed_windows,
             mean_mixed_weight=float(np.mean(mixed_c)),
             stage_seconds=timings,
         )
@@ -203,9 +254,19 @@ class LeapsPipeline:
     def train(
         self, benign_lines: Iterable[str], mixed_lines: Iterable[str]
     ) -> TrainingReport:
+        return self.train_many([benign_lines], [mixed_lines])
+
+    def train_many(
+        self,
+        benign_logs: Sequence[Iterable[str]],
+        mixed_logs: Sequence[Iterable[str]],
+    ) -> TrainingReport:
+        """Train from fleets of benign and mixed logs (one iterable of
+        raw lines per log); identical to :meth:`train` when each class
+        has exactly one log."""
         config = self.config
         rng = config.rng()
-        prepared = self.prepare_training(benign_lines, mixed_lines, rng=rng)
+        prepared = self.prepare_training_many(benign_logs, mixed_logs, rng=rng)
         timings = prepared.stage_seconds
         clock = time.perf_counter
 

@@ -70,9 +70,30 @@ PARSE_POLICIES = ("strict", "warn", "drop")
 #: :class:`StackFrame` object even across separate parse runs.  The
 #: featurization memo keys on ``event.frames`` tuples; interning lets
 #: its tuple-equality checks short-circuit on identity instead of
-#: falling into per-field dataclass comparisons.  Growth is bounded by
-#: the distinct frames seen, the same bound the memo itself has.
+#: falling into per-field dataclass comparisons.
+#:
+#: Growth bound: one entry per distinct ``(index, module, function,
+#: address)`` tuple ever parsed in this process — for any one
+#: application that is a few hundred entries, but a long-lived process
+#: parsing logs of *many* unrelated applications (or address-randomized
+#: rebuilds) accumulates every distinct frame it has ever seen.  Such
+#: hosts should call :func:`clear_frame_intern` between tenants; the
+#: test suite clears it per test (``tests/conftest.py``) so no test
+#: depends on frames interned by another.
 _FRAME_INTERN: dict = {}
+
+
+def clear_frame_intern() -> int:
+    """Drop every interned :class:`StackFrame`; returns the number of
+    entries released.
+
+    Interning is a pure cache — equal frames stay equal whether or not
+    they are the same object — so clearing is always safe; already-built
+    events keep their frames, and subsequent parses simply re-intern.
+    """
+    count = len(_FRAME_INTERN)
+    _FRAME_INTERN.clear()
+    return count
 
 
 def _event_from_fields(fields: Sequence[str]) -> EventRecord:

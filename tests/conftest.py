@@ -6,6 +6,17 @@ from pathlib import Path
 
 import pytest
 
+from repro.etw.parser import clear_frame_intern
+
+
+@pytest.fixture(autouse=True)
+def _fresh_frame_intern():
+    """Bound the process-global frame intern table per test: no test
+    observes frames interned by another, and the table cannot grow
+    across the whole suite."""
+    clear_frame_intern()
+    yield
+
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DATA_DIR = REPO_ROOT / "benchmarks" / ".data"
 

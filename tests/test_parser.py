@@ -4,8 +4,10 @@ import pytest
 
 from repro.etw.events import EventRecord, StackFrame
 from repro.etw.parser import (
+    _FRAME_INTERN,
     ParseError,
     RawLogParser,
+    clear_frame_intern,
     iter_parse,
     serialize_event,
     serialize_events,
@@ -188,3 +190,24 @@ class TestRoundTrip:
         events = parser.parse_lines(tiny_log_lines)
         assert serialize_events(events) == tiny_log_lines
         assert parser.parse_lines(serialize_events(events)) == events
+
+
+class TestFrameIntern:
+    def test_equal_frames_intern_to_same_object(self, parser, tiny_log_lines):
+        first = parser.parse_lines(tiny_log_lines)
+        second = parser.parse_lines(tiny_log_lines)
+        assert first[0].frames[0] is second[0].frames[0]
+
+    def test_clear_frame_intern_releases_and_counts(self, parser, tiny_log_lines):
+        clear_frame_intern()
+        parser.parse_lines(tiny_log_lines)
+        held = len(_FRAME_INTERN)
+        assert held > 0
+        assert clear_frame_intern() == held
+        assert len(_FRAME_INTERN) == 0
+        # clearing is a pure cache drop: equality survives, identity resets
+        before = parser.parse_lines(tiny_log_lines)
+        clear_frame_intern()
+        after = parser.parse_lines(tiny_log_lines)
+        assert before == after
+        assert before[0].frames[0] is not after[0].frames[0]

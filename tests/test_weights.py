@@ -86,3 +86,52 @@ class TestWeightInversion:
         assert isinstance(weights, np.ndarray)
         assert weights.tolist() == [0.0, 1.0, 0.0]
         assert np.all((weights >= 0.0) & (weights <= 1.0))
+
+
+class TestAssessFastPath:
+    """The memoized id-space assess against the naive per-path loop."""
+
+    PATHS = [
+        [],
+        [MAIN],
+        [PAYLOAD1],
+        [MAIN, A, B],
+        [MAIN, A, C],
+        [B, A],
+        [MAIN, B],              # known nodes, unknown edge
+        [MAIN, A, PAYLOAD1],    # alien suffix
+        [PAYLOAD1, PAYLOAD2],   # fully alien
+        [MAIN, MAIN],           # repeated node, no self-loop in CFG
+        [MAIN, A, B, PAYLOAD2, PAYLOAD1, MAIN],
+    ] * 3  # repetition exercises the memo scatter
+
+    def test_memoized_equals_naive_bit_for_bit(self, assessor):
+        fast = assessor.assess(self.PATHS)
+        naive = assessor.assess_naive(self.PATHS)
+        per_path = np.asarray([assessor.event_weight(p) for p in self.PATHS])
+        assert np.array_equal(fast, naive)
+        assert np.array_equal(fast, per_path)
+
+    def test_accepts_generator(self, assessor):
+        fast = assessor.assess(iter(self.PATHS))
+        assert np.array_equal(fast, assessor.assess_naive(self.PATHS))
+
+    def test_empty_input(self, assessor):
+        result = assessor.assess([])
+        assert result.shape == (0,) and result.dtype == np.float64
+
+    def test_memo_invalidated_by_cfg_mutation(self, assessor):
+        alien = [MAIN, B]
+        assert assessor.assess([alien])[0] == assessor.event_weight(alien) > 0.0
+        # adding the missing edge must flip the cached verdict
+        assessor.benign_cfg.add_edge(MAIN, B)
+        assert assessor.assess([alien])[0] == 0.0
+        assert assessor.event_weight(alien) == 0.0
+
+    def test_distinct_unknown_nodes_collapse_safely(self, assessor):
+        # both paths map to the same id-tuple (-1 suffix) — and both
+        # genuinely have the same weight under the naive path
+        first, second = [MAIN, A, PAYLOAD1], [MAIN, A, PAYLOAD2]
+        fast = assessor.assess([first, second])
+        assert fast[0] == fast[1] == assessor.event_weight(first)
+        assert assessor.event_weight(first) == assessor.event_weight(second)
