@@ -35,9 +35,17 @@ from typing import Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.core.cfg_inference import CFG
 from repro.core.config import LeapsConfig
-from repro.core.persistence import load_bundle, save_bundle
+from repro.core.persistence import (
+    bundle_fingerprint,
+    load_bundle,
+    pipeline_fingerprint,
+    save_bundle,
+)
 from repro.core.pipeline import LeapsPipeline, TrainingReport
-from repro.etw.parser import iter_parse
+from repro.etw.capture import is_capture_path, load_capture
+from repro.etw.events import EventLog
+from repro.etw.fastparse import parse_fast
+from repro.etw.parser import read_log_lines
 from repro.etw.recovery import ParseReport
 
 
@@ -123,8 +131,20 @@ class LeapsDetector:
 
     @staticmethod
     def _log_lines(item: Union[str, os.PathLike, Iterable[str]]) -> Iterable[str]:
+        """Resolve one fleet item to parse-ready input.
+
+        Paths are read with :func:`read_log_lines` — splitting on
+        ``\\n``/``\\r\\n`` only (``str.splitlines`` also breaks on
+        Unicode line boundaries such as ``\\x85``, silently diverging
+        from streaming the same file) and passing undecodable lines
+        through as ``bytes`` for policy-controlled ``BAD_ENCODING``
+        classification instead of a bare ``UnicodeDecodeError``.
+        ``.leapscap`` capture paths load as already-parsed events.
+        """
         if isinstance(item, (str, os.PathLike)):
-            return Path(os.fspath(item)).read_text().splitlines()
+            if is_capture_path(item):
+                return load_capture(item).events
+            return read_log_lines(item)
         return item
 
     @property
@@ -180,15 +200,20 @@ class LeapsDetector:
         lines) through the batch fast path."""
         if lines is None:
             assert source is not None
-            lines = Path(source).read_text().splitlines()
+            lines = self._log_lines(source)
         report = ParseReport() if with_reports else None
-        events = list(
-            iter_parse(
+        if isinstance(lines, EventLog):
+            # pre-parsed events (a columnar capture): nothing to parse;
+            # surface the conversion-time recovery accounting instead
+            if report is not None and lines.report is not None:
+                report.merge(lines.report)
+            events: List = list(lines)
+        else:
+            events = parse_fast(
                 lines,
                 policy=policy or self.pipeline.parser.policy,
                 report=report,
             )
-        )
         windows, scores = self.pipeline.score_events(events)
         detections = [
             WindowDetection(
@@ -238,6 +263,9 @@ class LeapsDetector:
         for index, item in enumerate(logs):
             if isinstance(item, (str, os.PathLike)):
                 jobs.append((index, os.fspath(item), None))
+            elif isinstance(item, EventLog):
+                # keep the pre-parsed marker (and its report) intact
+                jobs.append((index, None, item))
             else:
                 jobs.append((index, None, list(item)))
 
@@ -265,7 +293,16 @@ class LeapsDetector:
                 self.save(bundle)
             else:
                 bundle = Path(bundle_path)
-                if not (bundle / "bundle.json").is_file():
+                # Reuse an existing bundle only when it actually holds
+                # *this* model: a detector retrained since the bundle
+                # was written must not fan out the stale weights.  The
+                # fingerprint covers the full scan-relevant state
+                # (config, vocabularies, SVM scalars, every array).
+                if (
+                    not (bundle / "bundle.json").is_file()
+                    or bundle_fingerprint(bundle)
+                    != pipeline_fingerprint(self.pipeline)
+                ):
                     self.save(bundle)
             with ProcessPoolExecutor(
                 max_workers=workers,

@@ -31,9 +31,10 @@ misinterpret a bundle written by a newer trainer.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
@@ -76,12 +77,8 @@ def _restore_vocab(keys) -> Vocabulary:
     return vocab
 
 
-def save_bundle(pipeline, path: Union[str, Path]) -> Path:
-    """Serialize a trained pipeline to the bundle directory ``path``.
-
-    Creates ``path`` (and parents) if needed; overwrites an existing
-    bundle in place.  Returns the bundle directory path.
-    """
+def _bundle_doc(pipeline) -> dict:
+    """The JSON document of a trained pipeline (fingerprint excluded)."""
     model = pipeline.model
     featurizer = pipeline.featurizer
     standardizer = pipeline.standardizer
@@ -97,11 +94,7 @@ def save_bundle(pipeline, path: Union[str, Path]) -> Path:
             "model was fit from a precomputed gram without X; support "
             "vectors are required to scan from a bundle"
         )
-
-    path = Path(path)
-    path.mkdir(parents=True, exist_ok=True)
-
-    doc = {
+    return {
         "schema": SCHEMA,
         "config": pipeline.config.to_dict(),
         "selection": {"lam": float(model.lam), "sigma2": float(sigma2)},
@@ -123,16 +116,66 @@ def save_bundle(pipeline, path: Union[str, Path]) -> Path:
             "system": _vocab_keys_path(featurizer.system_vocab),
         },
     }
-    (path / JSON_NAME).write_text(json.dumps(doc, indent=2) + "\n")
-    np.savez(
-        path / NPZ_NAME,
-        sv_X=model._sv_X,
-        sv_coef=model._sv_coef,
-        sv_alpha=model.alpha[model.support_],
-        support=model.support_,
-        scaler_mean=standardizer.mean_,
-        scaler_scale=standardizer.scale_,
+
+
+def _bundle_arrays(pipeline) -> dict:
+    """Every float/int array of a trained pipeline, by npz member name."""
+    model = pipeline.model
+    standardizer = pipeline.standardizer
+    return {
+        "sv_X": model._sv_X,
+        "sv_coef": model._sv_coef,
+        "sv_alpha": model.alpha[model.support_],
+        "support": model.support_,
+        "scaler_mean": standardizer.mean_,
+        "scaler_scale": standardizer.scale_,
+    }
+
+
+def pipeline_fingerprint(pipeline) -> str:
+    """Content hash of everything a bundle would persist for this
+    pipeline: the canonical JSON document plus every array's name,
+    dtype, shape, and raw bytes.  Two pipelines that scan identically
+    share a fingerprint; any retrain that changes scan behaviour
+    changes it."""
+    doc = _bundle_doc(pipeline)
+    digest = hashlib.sha256()
+    digest.update(
+        json.dumps(doc, sort_keys=True, separators=(",", ":")).encode("utf-8")
     )
+    for name, array in sorted(_bundle_arrays(pipeline).items()):
+        array = np.ascontiguousarray(array)
+        digest.update(
+            f"{name}:{array.dtype.str}:{array.shape}".encode("utf-8")
+        )
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def bundle_fingerprint(path: Union[str, Path]) -> Optional[str]:
+    """The fingerprint recorded in an on-disk bundle, or ``None`` when
+    the bundle is unreadable or predates fingerprinting — callers treat
+    ``None`` as "cannot prove current" and rewrite."""
+    try:
+        doc = json.loads((Path(path) / JSON_NAME).read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    fingerprint = doc.get("fingerprint")
+    return fingerprint if isinstance(fingerprint, str) else None
+
+
+def save_bundle(pipeline, path: Union[str, Path]) -> Path:
+    """Serialize a trained pipeline to the bundle directory ``path``.
+
+    Creates ``path`` (and parents) if needed; overwrites an existing
+    bundle in place.  Returns the bundle directory path.
+    """
+    doc = _bundle_doc(pipeline)
+    doc["fingerprint"] = pipeline_fingerprint(pipeline)
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    (path / JSON_NAME).write_text(json.dumps(doc, indent=2) + "\n")
+    np.savez(path / NPZ_NAME, **_bundle_arrays(pipeline))
     return path
 
 

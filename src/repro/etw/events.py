@@ -9,7 +9,10 @@ the kernel routine that raised the event.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Iterator, Tuple
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from repro.etw.recovery import ParseReport
 
 #: Node identity used throughout CFG inference: (module, function).
 FrameNode = Tuple[str, str]
@@ -97,3 +100,31 @@ class EventRecord:
     def iter_nodes(self) -> Iterator[FrameNode]:
         for frame in self.frames:
             yield frame.node
+
+
+class EventLog(list):
+    """A list of already-parsed :class:`EventRecord` objects.
+
+    Front ends that produce events without a text parse (the columnar
+    capture reader, pre-parsed in-memory fleets) hand the pipeline an
+    ``EventLog`` where raw lines are otherwise expected; parse entry
+    points recognize the type and skip re-parsing.  ``report`` carries
+    the :class:`~repro.etw.recovery.ParseReport` of whatever parse
+    originally produced these events (``None`` when unknown), so
+    recovery accounting survives the detour through a binary format.
+    """
+
+    __slots__ = ("report",)
+
+    def __init__(
+        self,
+        events: Iterable[EventRecord] = (),
+        report: Optional["ParseReport"] = None,
+    ):
+        super().__init__(events)
+        self.report = report
+
+    def __reduce__(self):
+        # list subclass with __slots__: default pickling would drop
+        # ``report``; fleet scans ship EventLogs to pool workers.
+        return (type(self), (list(self), self.report))

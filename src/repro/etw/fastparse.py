@@ -1,0 +1,338 @@
+"""Vectorized cold-path text parser: bulk splits instead of per-line work.
+
+:func:`parse_fast` produces exactly what draining
+:func:`repro.etw.parser.iter_parse` over the same lines produces —
+same :class:`EventRecord` list, same :class:`ParseReport` accounting,
+same exceptions — but parses *clean* logs through bulk columnar
+operations instead of the scalar parser's per-line state machine:
+
+1. one ``str.split`` over the whole text for line boundaries
+   (``\\n``/``\\r\\n`` only, matching
+   :func:`~repro.etw.parser.split_log_text`);
+2. a single lean tag-classification pass, then C-driven comprehensions
+   that split each record tag's lines into columns and convert the
+   numeric columns with the *same* ``int()`` the scalar parser uses;
+3. numpy over the resulting integer columns for the stack–event
+   correlation checks: every STACK line's eid must match its owning
+   EVENT's and its frame index must equal its offset in the block
+   (one ``searchsorted`` + two array comparisons instead of a quarter
+   million Python branches).
+
+``np.char``-style fixed-width string arrays are deliberately **not**
+used: building a unicode array from a million Python lines costs more
+than the whole scalar parse, and numpy strips trailing NULs from such
+arrays, which would silently corrupt pathological field values.
+
+**Any** anomaly — an unknown tag, a wrong field count, a non-numeric
+field, a correlation mismatch, undecodable bytes, a suspect truncated
+tail, a ``\\r`` anywhere in the input — abandons the fast path *before
+touching the caller's report* and re-parses everything through the
+scalar ``iter_parse``, so the strict/warn/drop recovery semantics are
+the scalar parser's own, not a reimplementation.  The fast path
+therefore only ever handles logs it can prove are perfectly clean and
+complete.
+
+Frame objects come from the parser's process-wide intern table
+(:func:`repro.etw.parser.intern_frame`), so downstream featurization
+memos hit on object identity exactly as they do after a scalar parse.
+"""
+
+from __future__ import annotations
+
+import gc
+from typing import Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.etw.events import EventRecord, StackFrame
+from repro.etw.parser import (
+    PARSE_POLICIES,
+    LogLine,
+    intern_frame,
+    iter_parse,
+)
+from repro.etw.recovery import ParseReport
+
+_EVENT_FIELDS = 9
+_STACK_FIELDS = 6
+
+
+class _Fallback(Exception):
+    """Internal: the fast path met something only the scalar parser can
+    classify; no observable state has been touched yet."""
+
+
+def _scalar(
+    lines: Iterable[LogLine],
+    policy: str,
+    report: Optional[ParseReport],
+    require_complete_tail: bool,
+) -> List[EventRecord]:
+    return list(
+        iter_parse(
+            lines,
+            policy=policy,
+            report=report,
+            require_complete_tail=require_complete_tail,
+        )
+    )
+
+
+def _decode_lines(data: bytes) -> List[LogLine]:
+    raw_lines = data.split(b"\n")
+    if raw_lines and raw_lines[-1] == b"":
+        raw_lines.pop()
+    lines: List[LogLine] = []
+    for raw in raw_lines:
+        try:
+            lines.append(raw.decode("utf-8"))
+        except UnicodeDecodeError:
+            lines.append(raw)
+    return lines
+
+
+def _columns(lines: List[str], n_fields: int) -> List[List[str]]:
+    """Columnize record lines without a per-line split: verify every
+    line has exactly ``n_fields - 1`` pipes (which makes the flat
+    ``join().split`` below provably aligned), then stride-slice the one
+    flat field list into columns — all C-level passes."""
+    n_pipes = n_fields - 1
+    if any(line.count("|") != n_pipes for line in lines):
+        raise _Fallback
+    fields = "|".join(lines).split("|")
+    return [fields[start::n_fields] for start in range(n_fields)]
+
+
+def _ints(column: Sequence[str]) -> List[int]:
+    # The same int() the scalar parser applies per field, so accepted
+    # spellings ("007", "+3", unicode digits) stay bit-for-bit identical.
+    try:
+        return [int(value) for value in column]
+    except ValueError:
+        raise _Fallback from None
+
+
+def parse_fast(
+    source: Union[str, bytes, Sequence[LogLine]],
+    *,
+    policy: str = "strict",
+    report: Optional[ParseReport] = None,
+    require_complete_tail: bool = False,
+) -> List[EventRecord]:
+    """Parse raw log text (or a line sequence) into events, fast.
+
+    Equivalent to ``list(iter_parse(lines, ...))`` for every input and
+    policy — identical events, reports, and exceptions — via the bulk
+    fast path when the log is clean and the scalar parser otherwise.
+    ``bytes`` input additionally mirrors
+    :func:`~repro.etw.parser.read_log_lines`: undecodable lines reach
+    the parser as raw ``bytes`` for ``BAD_ENCODING`` classification.
+    """
+    if policy not in PARSE_POLICIES:
+        raise ValueError(
+            f"unknown parse policy {policy!r}; expected one of {PARSE_POLICIES}"
+        )
+
+    if isinstance(source, bytes):
+        data = source.replace(b"\r\n", b"\n")
+        try:
+            source = data.decode("utf-8")
+        except UnicodeDecodeError:
+            return _scalar(
+                _decode_lines(data), policy, report, require_complete_tail
+            )
+        # already normalized; the str branch's replace is a no-op
+    if isinstance(source, str):
+        text = source.replace("\r\n", "\n")
+        lines: Sequence[LogLine] = text.split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        # A lone \r is field content to the scalar parser (classified
+        # BAD_FIELD via the EventRecord delimiter check) — scalar owns it.
+        clean = "\r" not in text
+    else:
+        # The scalar parser rstrips "\n" per line (idempotent), so
+        # pre-stripping here changes nothing for the fallback either.
+        try:
+            lines = [
+                line.rstrip("\n") if isinstance(line, str) else line
+                for line in source
+            ]
+        except (TypeError, AttributeError):
+            return _scalar(source, policy, report, require_complete_tail)
+        clean = not any(
+            isinstance(line, str) and "\r" in line for line in lines
+        )
+
+    events = None
+    if clean:
+        # The bulk passes allocate millions of short-lived containers;
+        # generational GC rescanning them mid-parse costs more than the
+        # parse itself, so pause collection for the duration.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            events, n_blank = _parse_clean(lines)
+        except _Fallback:
+            events = None
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+    if events is None:
+        return _scalar(lines, policy, report, require_complete_tail)
+
+    if report is not None:
+        report.total_lines += len(lines)
+        report.blank_lines += n_blank
+        report.consumed_lines += len(lines) - n_blank
+        report.events_yielded += len(events)
+    return events
+
+
+def _parse_clean(
+    lines: Sequence[LogLine],
+) -> "tuple[List[EventRecord], int]":
+    """The fast path proper: raises :class:`_Fallback` on any line the
+    scalar parser would classify.  Input lines must already be free of
+    ``\\n``/``\\r`` (the caller guarantees it)."""
+    # -- classification pass: tag per line, nonblank positions ---------
+    event_lines: List[str] = []
+    stack_lines: List[str] = []
+    event_pos: List[int] = []
+    stack_pos: List[int] = []
+    n_blank = 0
+    position = 0
+    add_event, add_stack = event_lines.append, stack_lines.append
+    add_epos, add_spos = event_pos.append, stack_pos.append
+    for line in lines:
+        tag = line[:6]
+        if tag == "EVENT|":
+            add_event(line)
+            add_epos(position)
+            position += 1
+        elif tag == "STACK|":
+            add_stack(line)
+            add_spos(position)
+            position += 1
+        elif isinstance(line, str) and not line.strip():
+            n_blank += 1
+        else:
+            # unknown tag, short EVENT/STACK prefix, or a bytes line
+            raise _Fallback
+    if not event_lines:
+        if stack_lines:
+            raise _Fallback  # orphan stacks; scalar classifies them
+        return [], n_blank
+    if stack_pos and stack_pos[0] < event_pos[0]:
+        raise _Fallback  # stack walk before the first event
+
+    # -- columnize + integer conversion --------------------------------
+    ecols = _columns(event_lines, _EVENT_FIELDS)
+    eids = _ints(ecols[1])
+    timestamps = _ints(ecols[2])
+    pids = _ints(ecols[3])
+    tids = _ints(ecols[5])
+    opcodes = _ints(ecols[7])
+
+    # -- stack–event correlation, vectorized ---------------------------
+    epos_arr = np.array(event_pos, dtype=np.int64)
+    if stack_lines:
+        scols = _columns(stack_lines, _STACK_FIELDS)
+        stack_eids = np.array(_ints(scols[1]), dtype=np.int64)
+        stack_idx = np.array(_ints(scols[2]), dtype=np.int64)
+        spos_arr = np.array(stack_pos, dtype=np.int64)
+        owner = np.searchsorted(epos_arr, spos_arr, side="right") - 1
+        eid_arr = np.array(eids, dtype=np.int64)
+        if (stack_eids != eid_arr[owner]).any():
+            raise _Fallback
+        if (stack_idx != spos_arr - epos_arr[owner] - 1).any():
+            raise _Fallback
+        frames = _frame_objects(scols)
+    else:
+        frames = []
+
+    # per-event stack depth: every nonblank line between two EVENT lines
+    # belongs to the first (proven by the index-contiguity check above)
+    depths = np.diff(np.append(epos_arr, position)) - 1
+    _check_tail(ecols, opcodes, depths)
+
+    # -- build the records --------------------------------------------
+    offsets = np.concatenate([[0], np.cumsum(depths)]).tolist()
+    events: List[EventRecord] = []
+    append = events.append
+    new = EventRecord.__new__
+    # Field values came out of a pipe split of newline-split CR-free
+    # text, so the _check_field invariants hold by construction and
+    # __init__ can be bypassed.
+    for index, (eid, timestamp, pid, process, tid, category, opcode, name) in (
+        enumerate(
+            zip(
+                eids, timestamps, pids, ecols[4], tids,
+                ecols[6], opcodes, ecols[8],
+            )
+        )
+    ):
+        record = new(EventRecord)
+        record.eid = eid
+        record.timestamp = timestamp
+        record.pid = pid
+        record.process = process
+        record.tid = tid
+        record.category = category
+        record.opcode = opcode
+        record.name = name
+        record.frames = tuple(frames[offsets[index] : offsets[index + 1]])
+        append(record)
+    return events, n_blank
+
+
+def _frame_objects(scols: List[List[str]]) -> List[StackFrame]:
+    """Interned StackFrames for every stack line, memoized per distinct
+    field tuple (stack walks are massively repetitive)."""
+    memo: dict = {}
+    frames: List[StackFrame] = []
+    append = frames.append
+    try:
+        for fields in zip(scols[2], scols[3], scols[4], scols[5]):
+            frame = memo.get(fields)
+            if frame is None:
+                index_str, module, function, address_str = fields
+                frame = intern_frame(
+                    int(index_str), module, function, int(address_str, 16)
+                )
+                memo[fields] = frame
+            append(frame)
+    except ValueError:
+        raise _Fallback from None
+    return frames
+
+
+def _check_tail(
+    ecols: List[List[str]],
+    opcodes: List[int],
+    depths: np.ndarray,
+) -> None:
+    """Raise :class:`_Fallback` when the scalar truncated-tail heuristic
+    would fire: the final walk is shallower than *every* earlier walk of
+    the same etype.  Suspect tails take the scalar path — it owns the
+    report/raise semantics for them."""
+    n_events = len(opcodes)
+    if n_events < 2:
+        return
+    categories, names = ecols[6], ecols[8]
+    last_etype = (categories[-1], opcodes[-1], names[-1])
+    last_depth = int(depths[-1])
+    depth_list = depths.tolist()
+    for position in range(n_events - 1):
+        if (
+            depth_list[position] <= last_depth
+            and (categories[position], opcodes[position], names[position])
+            == last_etype
+        ):
+            return  # an earlier walk at or below the tail's depth
+    for position in range(n_events - 1):
+        if (categories[position], opcodes[position], names[position]) == (
+            last_etype
+        ):
+            raise _Fallback  # every same-etype walk is deeper: suspect

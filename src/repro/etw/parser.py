@@ -32,10 +32,12 @@ blocks must not lose the completed event before it.
 
 from __future__ import annotations
 
+import os
 import warnings
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
-from repro.etw.events import EventRecord, StackFrame
+from repro.etw.events import EventLog, EventRecord, StackFrame
 from repro.etw.recovery import (
     ParseErrorKind,
     ParseReport,
@@ -94,6 +96,70 @@ def clear_frame_intern() -> int:
     count = len(_FRAME_INTERN)
     _FRAME_INTERN.clear()
     return count
+
+
+def intern_frame(index: int, module: str, function: str, address: int) -> StackFrame:
+    """The interned :class:`StackFrame` for these fields — shared with
+    the parser's hot loop, so frames built by other front ends (the
+    columnar capture reader, the vectorized text parser) are the *same*
+    objects the line parser would have produced."""
+    key = (index, module, function, address)
+    frame = _FRAME_INTERN.get(key)
+    if frame is None:
+        frame = StackFrame(
+            index=index, module=module, function=function, address=address
+        )
+        _FRAME_INTERN[key] = frame
+    return frame
+
+
+#: A raw-log line handed to :func:`iter_parse`: ``str`` normally, or the
+#: undecoded ``bytes`` when :func:`read_log_lines` hit invalid UTF-8 —
+#: the parser classifies such lines as ``BAD_ENCODING`` instead of
+#: letting a ``UnicodeDecodeError`` escape.
+LogLine = Union[str, bytes]
+
+
+def split_log_text(text: str) -> List[str]:
+    """Split raw log text on ``\\n`` / ``\\r\\n`` boundaries *only*.
+
+    ``str.splitlines`` also breaks on Unicode line boundaries
+    (``\\x85``, ``\\x0b``, ``\\u2028``, …) that line-by-line file
+    iteration does not, so a text-based parse could silently disagree
+    with streaming the same file.  A single trailing newline (the POSIX
+    text-file convention) does not produce a trailing empty line.
+    """
+    lines = text.replace("\r\n", "\n").split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    return lines
+
+
+def read_log_lines(path: Union[str, os.PathLike]) -> List[LogLine]:
+    """Read a raw log file into parse-ready lines.
+
+    Reads bytes, splits on ``\\n`` / ``\\r\\n`` boundaries only (never
+    on Unicode line boundaries — see :func:`split_log_text`), and
+    decodes UTF-8.  A line that is not valid UTF-8 is returned as the
+    raw ``bytes`` instead of raising, so :func:`iter_parse` can classify
+    it (``ParseErrorKind.BAD_ENCODING``) under the caller's policy
+    rather than crash the whole scan with a ``UnicodeDecodeError``.
+    """
+    data = Path(os.fspath(path)).read_bytes().replace(b"\r\n", b"\n")
+    try:
+        return split_log_text(data.decode("utf-8"))
+    except UnicodeDecodeError:
+        pass
+    raw_lines = data.split(b"\n")
+    if raw_lines and raw_lines[-1] == b"":
+        raw_lines.pop()
+    lines: List[LogLine] = []
+    for raw in raw_lines:
+        try:
+            lines.append(raw.decode("utf-8"))
+        except UnicodeDecodeError:
+            lines.append(raw)
+    return lines
 
 
 def _event_from_fields(fields: Sequence[str]) -> EventRecord:
@@ -171,6 +237,21 @@ def _iter_parse(
         if policy == "warn":
             warnings.warn(f"line {num}: {message}", ParseWarning, stacklevel=4)
 
+    def fatal(kind: ParseErrorKind, message: str, num: int) -> ParseError:
+        # Strict-mode bookkeeping: finalize the report *before* raising
+        # so its exhaustive accounting (blank + consumed + error +
+        # discarded == total) holds even for an aborted parse.  The
+        # fatal line is the error line; the open event was never
+        # yielded, so its already-consumed lines are discarded with it.
+        nonlocal current, frames, pending
+        report.record(kind, num, message)
+        report.error_lines += 1
+        if current is not None:
+            report.discarded_lines += pending
+            report.events_dropped += 1
+            current, frames, pending = None, [], 0
+        return ParseError(message, num, kind=kind)
+
     def finish(event: EventRecord, walk: List[StackFrame]) -> EventRecord:
         report.events_yielded += 1
         known = depths.get(event.etype)
@@ -187,6 +268,21 @@ def _iter_parse(
 
     for lineno, raw in enumerate(lines, start=1):
         report.total_lines += 1
+        if isinstance(raw, (bytes, bytearray)):
+            # read_log_lines hands undecodable lines through as raw
+            # bytes; classify instead of crashing mid-scan.  The line's
+            # tag is unreadable, so like any garbled field it corrupts
+            # the open event's stack block.
+            if skipping:
+                report.discarded_lines += 1
+                continue
+            message = "line is not valid UTF-8"
+            if strict:
+                raise fatal(ParseErrorKind.BAD_ENCODING, message, lineno)
+            issue(ParseErrorKind.BAD_ENCODING, message, lineno)
+            drop_current()
+            skipping = True
+            continue
         line = raw.rstrip("\n")
         if not line.strip():
             report.blank_lines += 1
@@ -219,7 +315,7 @@ def _iter_parse(
             if len(fields) != _EVENT_FIELDS:
                 message = f"EVENT needs {_EVENT_FIELDS} fields, got {len(fields)}"
                 if strict:
-                    raise ParseError(message, lineno, kind=ParseErrorKind.BAD_FIELD)
+                    raise fatal(ParseErrorKind.BAD_FIELD, message, lineno)
                 # The previous event is complete; the malformed one is lost.
                 if current is not None:
                     report.consumed_lines += pending
@@ -238,9 +334,7 @@ def _iter_parse(
             except ValueError as exc:
                 message = f"bad EVENT field: {exc}"
                 if strict:
-                    raise ParseError(
-                        message, lineno, kind=ParseErrorKind.BAD_FIELD
-                    ) from None
+                    raise fatal(ParseErrorKind.BAD_FIELD, message, lineno) from None
                 issue(ParseErrorKind.BAD_FIELD, message, lineno)
                 report.events_dropped += 1
                 skipping = True
@@ -251,7 +345,7 @@ def _iter_parse(
             if len(fields) != _STACK_FIELDS:
                 message = f"STACK needs {_STACK_FIELDS} fields, got {len(fields)}"
                 if strict:
-                    raise ParseError(message, lineno, kind=ParseErrorKind.BAD_FIELD)
+                    raise fatal(ParseErrorKind.BAD_FIELD, message, lineno)
                 issue(ParseErrorKind.BAD_FIELD, message, lineno)
                 drop_current()
                 skipping = True
@@ -259,7 +353,7 @@ def _iter_parse(
             if current is None:
                 message = "STACK line before any EVENT"
                 if strict:
-                    raise ParseError(message, lineno, kind=ParseErrorKind.ORPHAN_STACK)
+                    raise fatal(ParseErrorKind.ORPHAN_STACK, message, lineno)
                 issue(ParseErrorKind.ORPHAN_STACK, message, lineno)
                 skipping = True
                 continue
@@ -270,9 +364,7 @@ def _iter_parse(
             except ValueError as exc:
                 message = f"bad STACK field: {exc}"
                 if strict:
-                    raise ParseError(
-                        message, lineno, kind=ParseErrorKind.BAD_FIELD
-                    ) from None
+                    raise fatal(ParseErrorKind.BAD_FIELD, message, lineno) from None
                 issue(ParseErrorKind.BAD_FIELD, message, lineno)
                 drop_current()
                 skipping = True
@@ -280,7 +372,7 @@ def _iter_parse(
             if eid != current.eid:
                 message = f"STACK eid {eid} does not match EVENT eid {current.eid}"
                 if strict:
-                    raise ParseError(message, lineno, kind=ParseErrorKind.EID_MISMATCH)
+                    raise fatal(ParseErrorKind.EID_MISMATCH, message, lineno)
                 issue(ParseErrorKind.EID_MISMATCH, message, lineno)
                 drop_current()
                 skipping = True
@@ -290,7 +382,7 @@ def _iter_parse(
                     f"non-contiguous frame index {index} (expected {len(frames)})"
                 )
                 if strict:
-                    raise ParseError(message, lineno, kind=ParseErrorKind.FRAME_GAP)
+                    raise fatal(ParseErrorKind.FRAME_GAP, message, lineno)
                 issue(ParseErrorKind.FRAME_GAP, message, lineno)
                 drop_current()
                 skipping = True
@@ -307,7 +399,7 @@ def _iter_parse(
         else:
             message = f"unknown record tag {tag!r}"
             if strict:
-                raise ParseError(message, lineno, kind=ParseErrorKind.UNKNOWN_TAG)
+                raise fatal(ParseErrorKind.UNKNOWN_TAG, message, lineno)
             issue(ParseErrorKind.UNKNOWN_TAG, message, lineno)
             # Keep the open event: a stray foreign line between two event
             # blocks must not lose the completed event before it.  Its
@@ -331,6 +423,10 @@ def _iter_parse(
             )
         if require_complete_tail:
             if strict:
+                # Finalize the report before raising: the truncated tail
+                # is an end-of-input condition (no error *line*), but the
+                # open event's consumed lines are lost with it.
+                drop_current()
                 raise ParseError(
                     message, max(lineno, 1), kind=ParseErrorKind.TRUNCATED_TAIL
                 )
@@ -382,21 +478,27 @@ class RawLogParser:
         report: Optional[ParseReport] = None,
         require_complete_tail: bool = False,
     ) -> List[EventRecord]:
-        return list(
-            iter_parse(
-                lines,
-                policy=policy or self.policy,
-                report=report,
-                require_complete_tail=require_complete_tail,
-            )
+        if isinstance(lines, EventLog):
+            # Already-parsed events (e.g. from a columnar capture): no
+            # text to parse.  Their original parse's accounting merges
+            # into the caller's report so recovery stats aren't lost.
+            if report is not None and lines.report is not None:
+                report.merge(lines.report)
+            return list(lines)
+        from repro.etw.fastparse import parse_fast  # circular at import
+
+        return parse_fast(
+            lines,
+            policy=policy or self.policy,
+            report=report,
+            require_complete_tail=require_complete_tail,
         )
 
     def parse_text(self, text: str, **kwargs) -> List[EventRecord]:
-        return self.parse_lines(text.splitlines(), **kwargs)
+        return self.parse_lines(split_log_text(text), **kwargs)
 
     def parse_file(self, path, **kwargs) -> List[EventRecord]:
-        with open(path, "r", encoding="utf-8") as handle:
-            return self.parse_lines(handle, **kwargs)
+        return self.parse_lines(read_log_lines(path), **kwargs)
 
     def slice_process(
         self,

@@ -38,6 +38,9 @@ class ParseErrorKind(enum.Enum):
     FRAME_GAP = "frame-gap"
     #: a record tag that is neither ``EVENT`` nor ``STACK``
     UNKNOWN_TAG = "unknown-tag"
+    #: a line that is not valid UTF-8 (reaches the parser as ``bytes``
+    #: from :func:`repro.etw.parser.read_log_lines`)
+    BAD_ENCODING = "bad-encoding"
     #: the log ended mid-stack-walk (detected at end of input)
     TRUNCATED_TAIL = "truncated-tail"
 
@@ -126,6 +129,96 @@ class ParseReport:
 
     def count(self, kind: ParseErrorKind) -> int:
         return self.counts.get(kind, 0)
+
+    def merge(self, other: "ParseReport") -> "ParseReport":
+        """Fold another report's accounting into this one (in place).
+
+        Used when a scan aggregates per-source reports — e.g. replaying
+        a columnar capture merges the conversion-time report into the
+        scan's report.  Line numbers keep their per-source meaning, so
+        ``first_bad_lineno``/``last_bad_lineno`` become the min/max over
+        the merged sources.
+        """
+        self.total_lines += other.total_lines
+        self.blank_lines += other.blank_lines
+        self.consumed_lines += other.consumed_lines
+        self.error_lines += other.error_lines
+        self.discarded_lines += other.discarded_lines
+        self.events_yielded += other.events_yielded
+        self.events_dropped += other.events_dropped
+        self.truncated_tail = self.truncated_tail or other.truncated_tail
+        for kind, n in other.counts.items():
+            self.counts[kind] = self.counts.get(kind, 0) + n
+        room = MAX_RECORDED_ISSUES - len(self.issues)
+        if room > 0:
+            self.issues.extend(other.issues[:room])
+        for mine, theirs in (
+            ("first_bad_lineno", other.first_bad_lineno),
+            ("last_bad_lineno", other.last_bad_lineno),
+        ):
+            if theirs is not None:
+                current = getattr(self, mine)
+                pick = min if mine.startswith("first") else max
+                setattr(
+                    self,
+                    mine,
+                    theirs if current is None else pick(current, theirs),
+                )
+        return self
+
+    # -- (de)serialization — carried in capture metadata ---------------
+    def to_dict(self) -> dict:
+        """JSON-compatible dict; inverse of :meth:`from_dict`.
+
+        Issue kinds serialize by their enum value so the document stays
+        readable and stable across refactors of the enum member names.
+        """
+        return {
+            "total_lines": self.total_lines,
+            "blank_lines": self.blank_lines,
+            "consumed_lines": self.consumed_lines,
+            "error_lines": self.error_lines,
+            "discarded_lines": self.discarded_lines,
+            "events_yielded": self.events_yielded,
+            "events_dropped": self.events_dropped,
+            "truncated_tail": self.truncated_tail,
+            "counts": {kind.value: n for kind, n in self.counts.items()},
+            "issues": [
+                {"kind": issue.kind.value, "lineno": issue.lineno,
+                 "message": issue.message}
+                for issue in self.issues
+            ],
+            "first_bad_lineno": self.first_bad_lineno,
+            "last_bad_lineno": self.last_bad_lineno,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "ParseReport":
+        report = cls(
+            total_lines=int(doc["total_lines"]),
+            blank_lines=int(doc["blank_lines"]),
+            consumed_lines=int(doc["consumed_lines"]),
+            error_lines=int(doc["error_lines"]),
+            discarded_lines=int(doc["discarded_lines"]),
+            events_yielded=int(doc["events_yielded"]),
+            events_dropped=int(doc["events_dropped"]),
+            truncated_tail=bool(doc["truncated_tail"]),
+            counts={
+                ParseErrorKind(kind): int(n)
+                for kind, n in doc["counts"].items()
+            },
+            issues=[
+                ParseIssue(
+                    kind=ParseErrorKind(issue["kind"]),
+                    lineno=int(issue["lineno"]),
+                    message=issue["message"],
+                )
+                for issue in doc["issues"]
+            ],
+        )
+        report.first_bad_lineno = doc["first_bad_lineno"]
+        report.last_bad_lineno = doc["last_bad_lineno"]
+        return report
 
     def summary(self) -> str:
         """One-line human-readable digest for logs and CLIs."""

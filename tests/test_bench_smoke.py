@@ -155,6 +155,57 @@ def test_bench_prepare_quick_emits_valid_json(data_dir, tmp_path):
         assert dataset[section]["speedup"] > 0
 
 
+REQUIRED_E2E_DATASET_KEYS = {
+    "dataset", "source", "lines", "events", "text_bytes", "capture_bytes",
+    "convert_s", "ingest", "e2e",
+}
+REQUIRED_E2E_TIMING_KEYS = {
+    "text_s", "capture_s", "text_lines_per_s", "capture_lines_per_s",
+    "speedup",
+}
+
+
+def test_bench_e2e_quick_emits_valid_json(tmp_path):
+    # no data_dir fixture: bench_e2e falls back to a deterministic
+    # synthetic corpus when the golden cache is absent
+    output = tmp_path / "BENCH_e2e.json"
+    env = {**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")}
+    completed = subprocess.run(
+        [
+            sys.executable,
+            str(REPO_ROOT / "benchmarks" / "bench_e2e.py"),
+            "--quick",
+            "--scan-events", "8000",
+            "--output", str(output),
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+
+    payload = json.loads(output.read_text())
+    assert payload["schema"] == "leaps-bench-e2e/v1"
+    assert {"created_utc", "host", "config", "datasets", "summary"} <= set(payload)
+    assert payload["summary"]["datasets"] == 1
+    assert payload["summary"]["source"] in ("golden", "synthetic")
+    assert payload["summary"]["min_ingest_speedup"] > 0
+    assert payload["summary"]["min_e2e_speedup"] > 0
+    assert payload["summary"]["all_bit_identical"] is True
+
+    (dataset,) = payload["datasets"]
+    assert REQUIRED_E2E_DATASET_KEYS <= set(dataset)
+    assert REQUIRED_E2E_TIMING_KEYS <= set(dataset["ingest"])
+    assert REQUIRED_E2E_TIMING_KEYS <= set(dataset["e2e"])
+    # the harness aborts on divergence, but assert the verdict too
+    assert dataset["e2e"]["detections_bit_identical"] is True
+    assert dataset["lines"] > 0 and dataset["events"] > 0
+    assert dataset["convert_s"] > 0
+    assert dataset["e2e"]["windows"] > 0
+
+
 def test_bench_ingest_emits_valid_json(data_dir, tmp_path):
     output = tmp_path / "BENCH_ingest.json"
     env = {**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")}

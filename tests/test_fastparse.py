@@ -1,0 +1,160 @@
+"""The vectorized text parser must be indistinguishable from the
+scalar one — events, frame interning identity, reports, and exceptions.
+
+``parse_fast`` takes a bulk-split fast path on clean well-formed input
+and silently falls back to scalar ``iter_parse`` otherwise, so the
+contract is total equivalence on *every* input, not just happy paths.
+Each check runs both parsers on the same input and compares everything
+observable.
+"""
+
+import warnings
+
+import pytest
+
+from repro.etw.fastparse import parse_fast
+from repro.etw.parser import ParseError, iter_parse, split_log_text
+from repro.etw.recovery import ParseReport
+
+from tests.conftest import TINY_LOG
+from tests.faults import fault_corpus
+
+POLICIES = ("strict", "warn", "drop")
+
+
+def run_both(source_fast, lines_scalar, policy, rct=False):
+    """Parse one input through both implementations; assert that the
+    events (with frame identity), reports, and raised errors agree.
+    Returns the parsed events (None when both raised)."""
+    fast_report, scalar_report = ParseReport(), ParseReport()
+    fast_error = scalar_error = None
+    fast_events = scalar_events = None
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        try:
+            fast_events = parse_fast(
+                source_fast,
+                policy=policy,
+                report=fast_report,
+                require_complete_tail=rct,
+            )
+        except ParseError as error:
+            fast_error = (type(error), str(error))
+        try:
+            scalar_events = list(
+                iter_parse(
+                    lines_scalar,
+                    policy=policy,
+                    report=scalar_report,
+                    require_complete_tail=rct,
+                )
+            )
+        except ParseError as error:
+            scalar_error = (type(error), str(error))
+    assert fast_error == scalar_error
+    assert fast_events == scalar_events
+    if fast_events is not None:
+        for mine, theirs in zip(fast_events, scalar_events):
+            for frame_a, frame_b in zip(mine.frames, theirs.frames):
+                assert frame_a is frame_b, "frames not interned identically"
+    assert fast_report.to_dict() == scalar_report.to_dict()
+    assert fast_report.lines_accounted == fast_report.total_lines
+    return fast_events
+
+
+TINY_LINES = TINY_LOG.splitlines()
+
+
+class TestCleanEquivalence:
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("rct", (False, True))
+    def test_str_bytes_and_sequence_inputs(self, policy, rct):
+        events = run_both(TINY_LOG, TINY_LINES, policy, rct)
+        assert len(events) == 3
+        run_both(TINY_LOG.encode(), TINY_LINES, policy, rct)
+        run_both(list(TINY_LINES), TINY_LINES, policy, rct)
+
+    def test_crlf_line_endings(self):
+        crlf = TINY_LOG.replace("\n", "\r\n")
+        run_both(crlf, TINY_LINES, "strict")
+        run_both(crlf.encode(), TINY_LINES, "strict")
+
+    def test_sequence_lines_keep_trailing_newline(self):
+        with_newlines = [line + "\n" for line in TINY_LINES]
+        run_both(with_newlines, with_newlines, "strict")
+
+    def test_blank_lines_everywhere(self):
+        blanky = (
+            "\n\n"
+            + TINY_LOG.replace("EVENT|1", "\n \nEVENT|1")
+            + "\n   \n"
+        )
+        report = ParseReport()
+        events = parse_fast(blanky, policy="drop", report=report)
+        assert events == run_both(blanky, split_log_text(blanky), "drop")
+        assert report.blank_lines > 0
+
+    def test_empty_inputs(self):
+        assert run_both("", [], "strict") == []
+        assert run_both("\n\n\n", split_log_text("\n\n\n"), "drop") == []
+
+
+class TestHostileEquivalence:
+    @pytest.mark.parametrize("policy", ("strict", "drop"))
+    def test_lone_carriage_return_in_field(self, policy):
+        # \r is a reserved delimiter: the scalar parser classifies it
+        # as BAD_FIELD; the fast path must not mask that.
+        dirty = TINY_LOG.replace("send_data", "send\rdata")
+        run_both(dirty, split_log_text(dirty), policy)
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_undecodable_bytes_line(self, policy):
+        bad = TINY_LOG.encode() + b"EVENT|3|3|1|app.exe|4|X\xff\xfe|1|z\n"
+        bad_lines = TINY_LINES + [b"EVENT|3|3|1|app.exe|4|X\xff\xfe|1|z"]
+        run_both(bad, bad_lines, policy)
+
+    def test_unicode_line_boundary_stays_in_field(self):
+        embedded = TINY_LOG.replace("send_data", "send\x85data")
+        events = run_both(embedded, split_log_text(embedded), "strict")
+        assert any("\x85" in event.name for event in events)
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_fault_corpus(self, seed, policy):
+        for variant in fault_corpus(TINY_LINES, seed=seed):
+            for rct in (False, True):
+                run_both(
+                    list(variant.lines), list(variant.lines), policy, rct
+                )
+
+    def test_iterator_input_falls_back_cleanly(self):
+        # generators can't be bulk-split; equivalence must still hold
+        run_both(iter(TINY_LINES), TINY_LINES, "strict")
+
+
+class TestReportFilling:
+    def test_clean_parse_accounting(self):
+        report = ParseReport()
+        events = parse_fast(TINY_LOG, report=report)
+        assert report.events_yielded == len(events) == 3
+        assert report.total_lines == len(TINY_LINES)
+        assert report.consumed_lines == len(TINY_LINES)
+        assert report.blank_lines == 0
+        assert report.clean
+
+    def test_gc_state_is_restored(self):
+        import gc
+
+        assert gc.isenabled()
+        parse_fast(TINY_LOG)
+        assert gc.isenabled()
+        gc.disable()
+        try:
+            parse_fast(TINY_LOG)
+            assert not gc.isenabled()
+        finally:
+            gc.enable()
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            parse_fast(TINY_LOG, policy="lenient")
