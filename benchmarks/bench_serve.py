@@ -1,0 +1,634 @@
+"""Fleet serving benchmark: concurrent streams through the always-on
+detection service.
+
+Ramps the number of concurrent raw-log streams (1 → 1000) against a
+:class:`repro.serve.DetectionServer` with process shard workers and
+measures, per ramp step:
+
+* **aggregate events/s** — total events parsed and scored divided by
+  wall time from first connect to last terminal frame;
+* **window→detection latency** (p50/p99) — worker-side time from a
+  window's parse completion to its scored detection, pulled from the
+  ``status`` endpoint's retained samples;
+* **bit-identity** — every stream's detections are compared against a
+  serial ``scan_stream`` reference for its log; any divergence fails
+  the benchmark loudly.
+
+The driver is a single-threaded ``selectors`` multiplexer (not one
+thread per stream): all payload frames are shared per log variant, so
+a thousand concurrent streams cost one socket + a few kilobytes each,
+and the GIL is spent on the server front rather than on fake clients.
+
+Two calibration sections accompany the ramp:
+
+* **offline** — the same corpus scanned by ``scan_logs`` with the same
+  worker count: the acceptance bar is serving throughput at >= 256
+  streams within 0.8x of the offline batch path;
+* **backpressure** — a blast through a deliberately small ack window:
+  reads must pause and resume, with every event still accounted for
+  and detections still bit-identical.
+
+Usage (from the repo root):
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick \
+        --output BENCH_serve.json
+
+Emits ``BENCH_serve.json`` (schema: see benchmarks/README.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import errno
+import json
+import os
+import platform
+import selectors
+import socket
+import sys
+import tempfile
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT))
+
+from repro.core.config import LeapsConfig
+from repro.core.detector import LeapsDetector
+from repro.serve import ModelRegistry, start_in_thread
+from repro.serve.protocol import (
+    FRAME_DATA,
+    FRAME_DETECTIONS,
+    FRAME_END,
+    FRAME_ERROR,
+    FRAME_HELLO,
+    FRAME_RESULT,
+    HEADER_SIZE,
+    pack_frame,
+    pack_json,
+    parse_header,
+)
+
+from benchmarks.synth import synthetic_log
+
+SCHEMA = "leaps-bench-serve/v1"
+
+RAMP = (1, 4, 16, 64, 256, 1000)
+QUICK_RAMP = (1, 8)
+#: the acceptance criterion is evaluated at this ramp step
+ACCEPTANCE_STREAMS = 256
+ACCEPTANCE_RATIO = 0.8
+
+DATA_FRAME_BYTES = 128 * 1024
+_RETRYABLE = {errno.EAGAIN, errno.EINPROGRESS, errno.EALREADY, errno.ENOTCONN}
+
+
+def raise_fd_limit(want: int) -> int:
+    """Best-effort bump of RLIMIT_NOFILE; returns the resulting soft
+    limit (the driver clamps its ramp to what the OS allows)."""
+    try:
+        import resource
+
+        soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+        target = min(want, hard if hard > 0 else want)
+        if target > soft:
+            resource.setrlimit(resource.RLIMIT_NOFILE, (target, hard))
+            soft = target
+        return soft
+    except (ImportError, ValueError, OSError):
+        return 1024
+
+
+# -- corpus ------------------------------------------------------------
+def detection_rows(detections) -> List[tuple]:
+    return [
+        (d.index, d.start_eid, d.end_eid, d.score, d.malicious)
+        for d in detections
+    ]
+
+
+def build_variants(
+    detector: LeapsDetector, seed: int, n_variants: int, events_per_stream: int
+) -> List[dict]:
+    """Distinct per-stream logs plus their serial-scan references.
+    Streams cycle over the variants, so payload frames (the dominant
+    driver memory) are shared across all streams of a variant."""
+    variants = []
+    for index in range(n_variants):
+        lines = synthetic_log(
+            f"{seed}:serve:{index}", events_per_stream, attack_rate=0.1
+        )
+        payload = ("\n".join(lines) + "\n").encode("utf-8")
+        frames = [
+            pack_frame(FRAME_DATA, payload[start : start + DATA_FRAME_BYTES])
+            for start in range(0, len(payload), DATA_FRAME_BYTES)
+        ]
+        variants.append(
+            {
+                "lines": lines,
+                "payload_bytes": len(payload),
+                "frames": frames,
+                "reference": detection_rows(
+                    detector.scan_stream(lines, policy="drop")
+                ),
+            }
+        )
+    return variants
+
+
+# -- the multiplexed driver --------------------------------------------
+class _Conn:
+    __slots__ = (
+        "stream_id",
+        "variant",
+        "sock",
+        "frames",
+        "frame_index",
+        "offset",
+        "inbuf",
+        "detections",
+        "result",
+        "error",
+        "done",
+        "attempts",
+    )
+
+    def __init__(self, stream_id: str, variant: int, frames: List[bytes]):
+        self.stream_id = stream_id
+        self.variant = variant
+        self.sock: Optional[socket.socket] = None
+        self.frames = frames
+        self.frame_index = 0
+        self.offset = 0
+        self.inbuf = bytearray()
+        self.detections: List[tuple] = []
+        self.result: Optional[dict] = None
+        self.error: Optional[dict] = None
+        self.done = False
+        self.attempts = 0
+
+
+def _connect(conn: _Conn, address) -> socket.socket:
+    if isinstance(address, str):
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    else:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.setblocking(False)
+    code = sock.connect_ex(address)
+    if code not in (0, errno.EINPROGRESS, errno.EAGAIN):
+        sock.close()
+        raise OSError(code, os.strerror(code))
+    conn.sock = sock
+    conn.frame_index = 0
+    conn.offset = 0
+    conn.inbuf.clear()
+    return sock
+
+
+def drive_streams(
+    address,
+    specs: Sequence[Tuple[str, int, List[bytes]]],
+    timeout: float = 900.0,
+    connect_batch: int = 64,
+) -> Dict[str, _Conn]:
+    """Run every (stream_id, variant, frames) spec to its terminal
+    frame over one selector loop; returns the finished connections."""
+    selector = selectors.DefaultSelector()
+    conns = {
+        stream_id: _Conn(stream_id, variant, frames)
+        for stream_id, variant, frames in specs
+    }
+    unlaunched = [conns[stream_id] for stream_id, _, _ in reversed(specs)]
+    finished = 0
+    deadline = time.monotonic() + timeout
+
+    def finish(conn: _Conn, error: Optional[dict] = None) -> None:
+        nonlocal finished
+        if conn.done:
+            return
+        if error is not None and conn.error is None:
+            conn.error = error
+        conn.done = True
+        finished += 1
+        if conn.sock is not None:
+            try:
+                selector.unregister(conn.sock)
+            except (KeyError, ValueError):
+                pass
+            conn.sock.close()
+
+    def relaunch(conn: _Conn) -> None:
+        """A refused/reset connect (accept-queue overflow under the
+        connection storm) retries a few times before counting as
+        failed."""
+        if conn.sock is not None:
+            try:
+                selector.unregister(conn.sock)
+            except (KeyError, ValueError):
+                pass
+            conn.sock.close()
+            conn.sock = None
+        conn.attempts += 1
+        if conn.attempts > 5:
+            finish(conn, {"error": "connect retries exhausted"})
+        else:
+            unlaunched.append(conn)
+
+    def pump_out(conn: _Conn) -> None:
+        sock = conn.sock
+        while conn.frame_index < len(conn.frames):
+            frame = conn.frames[conn.frame_index]
+            try:
+                sent = sock.send(memoryview(frame)[conn.offset :])
+            except OSError as error:
+                if error.errno in _RETRYABLE:
+                    return
+                relaunch(conn)
+                return
+            if sent == 0:
+                return
+            conn.offset += sent
+            if conn.offset == len(frame):
+                conn.frame_index += 1
+                conn.offset = 0
+        # outbox drained: reads only from here on
+        selector.modify(sock, selectors.EVENT_READ, conn)
+
+    def pump_in(conn: _Conn) -> None:
+        sock = conn.sock
+        try:
+            data = sock.recv(1 << 20)
+        except OSError as error:
+            if error.errno in _RETRYABLE:
+                return
+            relaunch(conn)
+            return
+        if not data:
+            if conn.frame_index == 0:
+                relaunch(conn)  # reset before HELLO went out
+            else:
+                finish(conn, {"error": "server closed mid-stream"})
+            return
+        conn.inbuf += data
+        while True:
+            if len(conn.inbuf) < HEADER_SIZE:
+                return
+            length, frame_type = parse_header(bytes(conn.inbuf[:HEADER_SIZE]))
+            if len(conn.inbuf) < HEADER_SIZE + length:
+                return
+            payload = bytes(conn.inbuf[HEADER_SIZE : HEADER_SIZE + length])
+            del conn.inbuf[: HEADER_SIZE + length]
+            if frame_type == FRAME_DETECTIONS:
+                doc = json.loads(payload)
+                conn.detections.extend(tuple(row) for row in doc["detections"])
+            elif frame_type == FRAME_RESULT:
+                conn.result = json.loads(payload)
+                finish(conn)
+                return
+            elif frame_type == FRAME_ERROR:
+                finish(conn, json.loads(payload))
+                return
+
+    while finished < len(conns):
+        if time.monotonic() > deadline:
+            for conn in conns.values():
+                finish(conn, {"error": "driver timeout"})
+            break
+        for _ in range(min(connect_batch, len(unlaunched))):
+            conn = unlaunched.pop()
+            try:
+                sock = _connect(conn, address)
+            except OSError:
+                relaunch(conn)
+                continue
+            selector.register(
+                sock, selectors.EVENT_READ | selectors.EVENT_WRITE, conn
+            )
+        for key, mask in selector.select(timeout=1.0):
+            conn = key.data
+            if conn.done:
+                continue
+            if mask & selectors.EVENT_READ:
+                pump_in(conn)
+            if conn.done or conn.sock is not key.fileobj:
+                continue
+            if mask & selectors.EVENT_WRITE:
+                pump_out(conn)
+    selector.close()
+    return conns
+
+
+# -- benchmark sections ------------------------------------------------
+def run_ramp_step(
+    registry: ModelRegistry,
+    variants: List[dict],
+    n_streams: int,
+    n_shards: int,
+    events_per_stream: int,
+) -> dict:
+    specs = []
+    for index in range(n_streams):
+        variant = index % len(variants)
+        stream_id = f"s{index}"
+        hello = pack_json(
+            FRAME_HELLO, {"stream_id": stream_id, "policy": "drop"}
+        )
+        frames = [hello, *variants[variant]["frames"], pack_frame(FRAME_END)]
+        specs.append((stream_id, variant, frames))
+
+    handle = start_in_thread(registry, n_shards=n_shards, executor="process")
+    try:
+        t0 = time.perf_counter()
+        conns = drive_streams(handle.address, specs)
+        elapsed = time.perf_counter() - t0
+        status = handle.status(include_latencies=True, timeout=30.0)
+    finally:
+        handle.stop(timeout=60.0)
+
+    errors = {
+        conn.stream_id: conn.error
+        for conn in conns.values()
+        if conn.error is not None
+    }
+    mismatched = [
+        conn.stream_id
+        for conn in conns.values()
+        if conn.error is None
+        and conn.detections != variants[conn.variant]["reference"]
+    ]
+    samples = np.asarray(
+        [
+            sample
+            for shard in status["shards"]
+            for sample in shard.get("latencies_s", [])
+        ]
+    )
+    total_events = n_streams * events_per_stream
+    return {
+        "streams": n_streams,
+        "events": total_events,
+        "bytes": sum(variants[i % len(variants)]["payload_bytes"]
+                     for i in range(n_streams)),
+        "elapsed_s": elapsed,
+        "events_per_s": total_events / elapsed,
+        "latency_s": {
+            "count": int(samples.size),
+            "p50": float(np.quantile(samples, 0.50)) if samples.size else None,
+            "p99": float(np.quantile(samples, 0.99)) if samples.size else None,
+        },
+        "events_accounted": status["events_total"] == total_events,
+        "pauses": status["counters"]["pauses"],
+        "mean_batch_windows": (
+            float(np.mean([s["mean_batch_windows"] for s in status["shards"]]))
+        ),
+        "errors": errors,
+        "detections_bit_identical": not mismatched,
+        "mismatched_streams": mismatched,
+    }
+
+
+def run_offline(
+    detector: LeapsDetector,
+    variants: List[dict],
+    n_streams: int,
+    n_shards: int,
+    events_per_stream: int,
+) -> dict:
+    """The same corpus through the offline fleet scan with the same
+    worker count — the serving path's throughput yardstick."""
+    with tempfile.TemporaryDirectory() as scratch:
+        paths = []
+        for index in range(n_streams):
+            variant = variants[index % len(variants)]
+            path = Path(scratch) / f"s{index}.log"
+            path.write_text("\n".join(variant["lines"]) + "\n")
+            paths.append(str(path))
+        t0 = time.perf_counter()
+        results = detector.scan_logs(
+            paths, n_jobs=n_shards, executor="process", policy="drop"
+        )
+        elapsed = time.perf_counter() - t0
+    for index, result in enumerate(results):
+        want = variants[index % len(variants)]["reference"]
+        if detection_rows(result.detections) != want:
+            raise AssertionError(f"offline scan diverged on stream {index}")
+    total_events = n_streams * events_per_stream
+    return {
+        "streams": n_streams,
+        "events": total_events,
+        "elapsed_s": elapsed,
+        "events_per_s": total_events / elapsed,
+        "n_jobs": n_shards,
+    }
+
+
+def run_backpressure(
+    registry: ModelRegistry, variants: List[dict], events_per_stream: int
+) -> dict:
+    """Blast a few streams through a deliberately tiny ack window: the
+    server must pause reads (bounded memory) without losing an event or
+    moving a detection bit."""
+    n_streams = 4
+    specs = []
+    for index in range(n_streams):
+        variant = index % len(variants)
+        stream_id = f"bp{index}"
+        hello = pack_json(
+            FRAME_HELLO, {"stream_id": stream_id, "policy": "drop"}
+        )
+        frames = [hello, *variants[variant]["frames"], pack_frame(FRAME_END)]
+        specs.append((stream_id, variant, frames))
+    handle = start_in_thread(
+        registry, n_shards=1, executor="process", ack_window_bytes=64 * 1024
+    )
+    try:
+        conns = drive_streams(handle.address, specs)
+        status = handle.status(timeout=30.0)
+    finally:
+        handle.stop(timeout=60.0)
+    identical = all(
+        conn.error is None
+        and conn.detections == variants[conn.variant]["reference"]
+        for conn in conns.values()
+    )
+    total_events = n_streams * events_per_stream
+    return {
+        "streams": n_streams,
+        "ack_window_bytes": 64 * 1024,
+        "pauses": status["counters"]["pauses"],
+        "resumes": status["counters"]["resumes"],
+        "engaged": status["counters"]["pauses"] > 0,
+        "events_accounted": status["events_total"] == total_events,
+        "detections_bit_identical": identical,
+    }
+
+
+def build_config(seed: int) -> LeapsConfig:
+    # single-point grid: serving, not training, is under the stopwatch
+    return LeapsConfig(
+        lam_grid=(1.0,),
+        sigma2_grid=(30.0,),
+        cv_folds=0,
+        max_train_windows=300,
+        seed=seed,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--shards", type=int, default=0,
+        help="shard worker processes (0 = min(8, cpu count))",
+    )
+    parser.add_argument(
+        "--events-per-stream", type=int, default=0,
+        help="events each stream sends (0 = 400, or 150 with --quick)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="tiny ramp (1, 8 streams), small logs — for smoke tests",
+    )
+    parser.add_argument(
+        "--output", default=str(REPO_ROOT / "BENCH_serve.json"),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    n_shards = args.shards or min(8, os.cpu_count() or 2)
+    if args.quick:
+        n_shards = min(n_shards, 2)
+    events_per_stream = args.events_per_stream or (150 if args.quick else 400)
+    ramp = list(QUICK_RAMP if args.quick else RAMP)
+
+    fd_limit = raise_fd_limit(4 * max(ramp) + 512)
+    max_streams = max(64, (fd_limit - 256) // 2)
+    clamped = [step for step in ramp if step > max_streams]
+    ramp = [step for step in ramp if step <= max_streams]
+    if clamped:
+        print(f"fd limit {fd_limit}: skipping ramp steps {clamped}", flush=True)
+
+    print(
+        f"training ({n_shards} shard workers, "
+        f"{events_per_stream} events/stream) ...",
+        flush=True,
+    )
+    detector = LeapsDetector(build_config(args.seed))
+    detector.train_from_logs(
+        synthetic_log(f"{args.seed}:benign", 3000),
+        synthetic_log(f"{args.seed}:mixed", 3000, attack_rate=0.3),
+    )
+    variants = build_variants(
+        detector, args.seed, 2 if args.quick else 4, events_per_stream
+    )
+
+    steps = []
+    with tempfile.TemporaryDirectory() as scratch:
+        bundle = Path(scratch) / "bundle"
+        detector.save(bundle)
+        registry = ModelRegistry()
+        registry.register("default", "v1", bundle)
+
+        for n_streams in ramp:
+            print(f"ramp: {n_streams} concurrent streams ...", flush=True)
+            step = run_ramp_step(
+                registry, variants, n_streams, n_shards, events_per_stream
+            )
+            latency = step["latency_s"]
+            p99 = latency["p99"]
+            print(
+                f"  {step['events_per_s']:,.0f} events/s   p50 "
+                f"{latency['p50']:.3f}s  p99 {p99:.3f}s   "
+                f"batch {step['mean_batch_windows']:.0f} windows   "
+                f"identical={step['detections_bit_identical']}",
+                flush=True,
+            )
+            if step["errors"] or not step["detections_bit_identical"]:
+                raise AssertionError(
+                    f"ramp step {n_streams} failed: "
+                    f"{len(step['errors'])} errors, "
+                    f"mismatched={step['mismatched_streams'][:5]}"
+                )
+            steps.append(step)
+
+        acceptance_streams = min(
+            (s for s in ramp if s >= ACCEPTANCE_STREAMS), default=max(ramp)
+        )
+        print(
+            f"offline yardstick: scan_logs over {acceptance_streams} logs, "
+            f"n_jobs={n_shards} ...",
+            flush=True,
+        )
+        offline = run_offline(
+            detector, variants, acceptance_streams, n_shards, events_per_stream
+        )
+        print(f"  {offline['events_per_s']:,.0f} events/s", flush=True)
+
+        print("backpressure blast (64 KiB ack window) ...", flush=True)
+        backpressure = run_backpressure(registry, variants, events_per_stream)
+        print(
+            f"  pauses={backpressure['pauses']} "
+            f"resumes={backpressure['resumes']} "
+            f"accounted={backpressure['events_accounted']}",
+            flush=True,
+        )
+
+    serve_step = next(s for s in steps if s["streams"] == acceptance_streams)
+    ratio = serve_step["events_per_s"] / offline["events_per_s"]
+    acceptance = {
+        "streams": acceptance_streams,
+        "serve_events_per_s": serve_step["events_per_s"],
+        "offline_events_per_s": offline["events_per_s"],
+        "ratio": ratio,
+        "threshold": ACCEPTANCE_RATIO,
+        "meets_stream_floor": acceptance_streams >= ACCEPTANCE_STREAMS,
+        "passed": (
+            ratio >= ACCEPTANCE_RATIO
+            and acceptance_streams >= ACCEPTANCE_STREAMS
+            and all(s["detections_bit_identical"] for s in steps)
+            and backpressure["engaged"]
+        ),
+    }
+    print(
+        f"acceptance: {acceptance_streams} streams at {ratio:.2f}x offline "
+        f"(threshold {ACCEPTANCE_RATIO}x) — "
+        + ("PASS" if acceptance["passed"] else "see report"),
+        flush=True,
+    )
+
+    payload = {
+        "schema": SCHEMA,
+        "created_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpus": os.cpu_count(),
+        },
+        "config": {
+            "quick": args.quick,
+            "seed": args.seed,
+            "n_shards": n_shards,
+            "events_per_stream": events_per_stream,
+            "variants": len(variants),
+            "fd_limit": fd_limit,
+            "skipped_ramp_steps": clamped,
+        },
+        "ramp": steps,
+        "offline": offline,
+        "backpressure": backpressure,
+        "acceptance": acceptance,
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

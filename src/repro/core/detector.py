@@ -76,6 +76,19 @@ class ScanResult:
         return sum(1 for detection in self.detections if detection.malicious)
 
 
+@dataclass(frozen=True)
+class _CaptureRef:
+    """Process-pool stand-in for an in-memory :class:`EventLog` that
+    originated from an on-disk ``.leapscap`` capture: ship the path and
+    reload the columnar file worker-side instead of pickling the whole
+    event list through the pool.  ``n_events`` guards against the
+    capture changing on disk between the caller's load and the
+    worker's."""
+
+    path: str
+    n_events: int
+
+
 #: One bundle-loaded detector per worker process, installed by the pool
 #: initializer so the model deserializes once per worker, not per log.
 _SCAN_WORKER: dict = {}
@@ -201,12 +214,23 @@ class LeapsDetector:
         if lines is None:
             assert source is not None
             lines = self._log_lines(source)
+        elif isinstance(lines, _CaptureRef):
+            reference = lines
+            lines = load_capture(reference.path).events
+            if len(lines) != reference.n_events:
+                raise RuntimeError(
+                    f"capture {reference.path} changed during the scan: "
+                    f"expected {reference.n_events} events, "
+                    f"loaded {len(lines)}"
+                )
         report = ParseReport() if with_reports else None
         if isinstance(lines, EventLog):
             # pre-parsed events (a columnar capture): nothing to parse;
             # surface the conversion-time recovery accounting instead
             if report is not None and lines.report is not None:
                 report.merge(lines.report)
+            if source is None:
+                source = lines.source
             events: List = list(lines)
         else:
             events = parse_fast(
@@ -286,6 +310,25 @@ class LeapsDetector:
                         jobs,
                     )
                 )
+
+        # In-memory EventLogs that came off an on-disk capture reroute
+        # as path references: the worker re-reads the columnar file
+        # instead of unpickling the whole event list through the pool.
+        jobs = [
+            (
+                index,
+                source,
+                _CaptureRef(lines.source, len(lines))
+                if (
+                    isinstance(lines, EventLog)
+                    and lines.source is not None
+                    and is_capture_path(lines.source)
+                    and os.path.isdir(lines.source)
+                )
+                else lines,
+            )
+            for index, source, lines in jobs
+        ]
 
         with tempfile.TemporaryDirectory() as scratch:
             if bundle_path is None:

@@ -491,6 +491,7 @@ def load_capture(path: Union[str, os.PathLike]) -> Capture:
     report_doc = meta.get("parse_report")
     report = None if report_doc is None else ParseReport.from_dict(report_doc)
     events.report = report
+    events.source = os.fspath(path)
     return Capture(events=events, report=report, meta=meta)
 
 

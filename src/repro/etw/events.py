@@ -112,19 +112,25 @@ class EventLog(list):
     the :class:`~repro.etw.recovery.ParseReport` of whatever parse
     originally produced these events (``None`` when unknown), so
     recovery accounting survives the detour through a binary format.
+    ``source`` records where the events came from (the capture
+    directory path for the columnar reader, ``None`` for hand-built
+    logs) — fleet scans use it to ship a *path* to pool workers instead
+    of pickling the whole event list.
     """
 
-    __slots__ = ("report",)
+    __slots__ = ("report", "source")
 
     def __init__(
         self,
         events: Iterable[EventRecord] = (),
         report: Optional["ParseReport"] = None,
+        source: Optional[str] = None,
     ):
         super().__init__(events)
         self.report = report
+        self.source = source
 
     def __reduce__(self):
         # list subclass with __slots__: default pickling would drop
-        # ``report``; fleet scans ship EventLogs to pool workers.
-        return (type(self), (list(self), self.report))
+        # ``report``/``source``; fleet scans ship EventLogs to workers.
+        return (type(self), (list(self), self.report, self.source))

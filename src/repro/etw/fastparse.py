@@ -48,6 +48,7 @@ from repro.etw.events import EventRecord, StackFrame
 from repro.etw.parser import (
     PARSE_POLICIES,
     LogLine,
+    ParseMachine,
     intern_frame,
     iter_parse,
 )
@@ -192,10 +193,16 @@ def parse_fast(
 
 def _parse_clean(
     lines: Sequence[LogLine],
+    check_tail: bool = True,
 ) -> "tuple[List[EventRecord], int]":
     """The fast path proper: raises :class:`_Fallback` on any line the
     scalar parser would classify.  Input lines must already be free of
-    ``\\n``/``\\r`` (the caller guarantees it)."""
+    ``\\n``/``\\r`` (the caller guarantees it).
+
+    ``check_tail=False`` skips the truncated-tail heuristic — only valid
+    when the caller *knows* the final block is complete, i.e. for a
+    streaming region cut immediately before the next ``EVENT`` line
+    (:class:`StreamingParser`); end-of-input always checks."""
     # -- classification pass: tag per line, nonblank positions ---------
     event_lines: List[str] = []
     stack_lines: List[str] = []
@@ -255,7 +262,8 @@ def _parse_clean(
     # per-event stack depth: every nonblank line between two EVENT lines
     # belongs to the first (proven by the index-contiguity check above)
     depths = np.diff(np.append(epos_arr, position)) - 1
-    _check_tail(ecols, opcodes, depths)
+    if check_tail:
+        _check_tail(ecols, opcodes, depths)
 
     # -- build the records --------------------------------------------
     offsets = np.concatenate([[0], np.cumsum(depths)]).tolist()
@@ -336,3 +344,135 @@ def _check_tail(
             last_etype
         ):
             raise _Fallback  # every same-etype walk is deeper: suspect
+
+
+class StreamingParser:
+    """Incremental :func:`parse_fast`: feed a live stream's lines in
+    arbitrary chunks, get completed events back, bit-identically to one
+    scalar parse of the whole stream.
+
+    The serving workers keep one of these per connected stream.  Clean
+    input goes through the same bulk columnar machinery as
+    :func:`parse_fast`, one *region* at a time: fed lines accumulate in
+    a holdback list, and whenever a new ``EVENT`` line arrives the lines
+    *before* the last one — whole, provably complete stack blocks — are
+    bulk-parsed, while the potentially still-growing final block stays
+    held.  Regions skip the truncated-tail heuristic (their last block
+    is complete by construction); :meth:`finish` scalar-feeds the
+    holdback and runs the real end-of-input tail logic via the shared
+    :class:`~repro.etw.parser.ParseMachine`.
+
+    The first line a bulk region cannot prove clean flips the stream
+    permanently to scalar mode — every subsequent line goes through
+    ``ParseMachine.feed`` — so strict/warn/drop recovery semantics,
+    report accounting, and error line numbers are the scalar parser's
+    own.  A stream that never shows an ``EVENT`` line is bounded by
+    ``backlog_limit``: past it, the stream goes scalar rather than
+    buffering without bound.
+    """
+
+    #: holdback bound (lines) for streams that never start an event
+    BACKLOG_LIMIT = 65536
+
+    def __init__(
+        self,
+        policy: str = "strict",
+        report: Optional[ParseReport] = None,
+        require_complete_tail: bool = False,
+        backlog_limit: int = BACKLOG_LIMIT,
+    ):
+        self.machine = ParseMachine(
+            policy=policy,
+            report=report,
+            require_complete_tail=require_complete_tail,
+        )
+        self.report = self.machine.report
+        self.backlog_limit = backlog_limit
+        self._holdback: List[LogLine] = []
+        self._scalar_mode = False
+        self._finished = False
+
+    @property
+    def scalar_mode(self) -> bool:
+        """True once the stream has permanently left the bulk fast path."""
+        return self._scalar_mode
+
+    def feed_lines(self, lines: Sequence[LogLine]) -> List[EventRecord]:
+        """Feed the next chunk of (already newline-split, ``\\r\\n``-
+        normalized) lines; returns the events they completed.  Strict
+        mode raises :class:`~repro.etw.parser.ParseError` exactly as the
+        scalar parser would, with matching line numbers."""
+        if self._finished:
+            raise RuntimeError("feed_lines() after finish()")
+        if self._scalar_mode:
+            return self._feed_scalar(lines)
+        cut = None
+        for position in range(len(lines) - 1, -1, -1):
+            line = lines[position]
+            if isinstance(line, str) and line.startswith("EVENT|"):
+                cut = position
+                break
+        if cut is None:
+            self._holdback.extend(lines)
+            if len(self._holdback) > self.backlog_limit:
+                self._scalar_mode = True
+                held, self._holdback = self._holdback, []
+                return self._feed_scalar(held)
+            return []
+        region = self._holdback + list(lines[:cut])
+        self._holdback = list(lines[cut:])
+        if not region:
+            return []
+        return self._bulk_region(region)
+
+    def finish(self) -> List[EventRecord]:
+        """End of stream: drain the holdback through the scalar machine
+        and run the real truncated-tail logic.  Returns the final
+        events, if any."""
+        if self._finished:
+            return []
+        self._finished = True
+        held, self._holdback = self._holdback, []
+        out = self._feed_scalar(held)
+        event = self.machine.finish()
+        if event is not None:
+            out.append(event)
+        return out
+
+    def _feed_scalar(self, lines: Sequence[LogLine]) -> List[EventRecord]:
+        out: List[EventRecord] = []
+        feed = self.machine.feed
+        for raw in lines:
+            event = feed(raw)
+            if event is not None:
+                out.append(event)
+        return out
+
+    def _bulk_region(self, region: List[LogLine]) -> List[EventRecord]:
+        # The machine is virgin here (bulk mode never leaves an open
+        # block in it), so the region starts at a block boundary.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            # A lone \r is field content only the scalar parser can
+            # classify — same gate as parse_fast.
+            if any(isinstance(line, str) and "\r" in line for line in region):
+                raise _Fallback
+            events, n_blank = _parse_clean(region, check_tail=False)
+        except _Fallback:
+            self._scalar_mode = True
+            out = self._feed_scalar(region)
+            held, self._holdback = self._holdback, []
+            out.extend(self._feed_scalar(held))
+            return out
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        report = self.machine.report
+        report.total_lines += len(region)
+        report.blank_lines += n_blank
+        report.consumed_lines += len(region) - n_blank
+        self.machine.observe_bulk_events(events)
+        self.machine.lineno += len(region)
+        return events

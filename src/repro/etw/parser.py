@@ -33,7 +33,9 @@ blocks must not lose the completed event before it.
 from __future__ import annotations
 
 import os
+import sys
 import warnings
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
@@ -96,6 +98,62 @@ def clear_frame_intern() -> int:
     count = len(_FRAME_INTERN)
     _FRAME_INTERN.clear()
     return count
+
+
+#: Default ceiling for :func:`evict_frame_intern`: ~1M distinct frames
+#: is far beyond any single application's population (a few hundred) but
+#: small enough that the table's RSS stays in the low hundreds of MB.
+FRAME_INTERN_MAX_ENTRIES = 1_000_000
+
+
+@dataclass(frozen=True)
+class FrameInternStats:
+    """Size of the process-global frame intern table.
+
+    ``approx_bytes`` estimates the retained heap: the dict itself plus,
+    per entry, the key tuple, the :class:`StackFrame`, and its module /
+    function strings (strings shared between frames are counted once per
+    frame, so this is an upper bound).
+    """
+
+    entries: int
+    approx_bytes: int
+
+
+def frame_intern_stats() -> FrameInternStats:
+    """Observability for long-lived processes: how big has the
+    process-global frame intern table grown?"""
+    entries = len(_FRAME_INTERN)
+    approx = sys.getsizeof(_FRAME_INTERN)
+    for key, frame in list(_FRAME_INTERN.items()):
+        approx += (
+            sys.getsizeof(key)
+            + sys.getsizeof(frame)
+            + sys.getsizeof(frame.module)
+            + sys.getsizeof(frame.function)
+        )
+    return FrameInternStats(entries=entries, approx_bytes=approx)
+
+
+def evict_frame_intern(max_entries: int = FRAME_INTERN_MAX_ENTRIES) -> int:
+    """Bound the intern table for always-on processes; returns the
+    number of entries released (0 when under the ceiling).
+
+    A server that parses logs of many unrelated applications (or of
+    address-randomized payload rebuilds) accumulates every distinct
+    frame it has ever seen — the table grows without bound over weeks of
+    uptime even though any one tenant needs only a few hundred entries.
+    This is the safe eviction point such processes call at quiet moments
+    (the serving workers call it between model-bundle reloads): eviction
+    is all-or-nothing because interning is a pure cache — subsequent
+    parses re-intern the hot frames within one log's worth of lines, and
+    already-built events keep their frame objects regardless.
+    """
+    if max_entries < 0:
+        raise ValueError("max_entries must be >= 0")
+    if len(_FRAME_INTERN) <= max_entries:
+        return 0
+    return clear_frame_intern()
 
 
 def intern_frame(index: int, module: str, function: str, address: int) -> StackFrame:
@@ -210,87 +268,142 @@ def iter_parse(
     )
 
 
-def _iter_parse(
-    lines: Iterable[str],
-    policy: str,
-    report: ParseReport,
-    require_complete_tail: bool,
-) -> Iterator[EventRecord]:
-    strict = policy == "strict"
-    current: Optional[EventRecord] = None
-    frames: List[StackFrame] = []
-    #: lines consumed by the open event (its EVENT line + stack lines)
-    pending = 0
-    #: resynchronizing: discard lines until the next well-formed EVENT
-    skipping = False
-    interned = _FRAME_INTERN
-    #: shallowest completed stack walk per etype — the truncated-tail
-    #: heuristic: a final walk shallower than *every* complete walk seen
-    #: for its etype is suspect; one at a previously-seen depth is a
-    #: legitimate ending (stack depths vary naturally per call site)
-    depths: dict = {}
-    lineno = 0
+class ParseMachine:
+    """Push-mode core of :func:`iter_parse`: feed one line at a time,
+    receive at most one completed :class:`EventRecord` back per line,
+    then :meth:`finish` at end of input.
 
-    def issue(kind: ParseErrorKind, message: str, num: int) -> None:
-        report.record(kind, num, message)
-        report.error_lines += 1
-        if policy == "warn":
+    This *is* the parser — :func:`iter_parse` is a thin pull driver over
+    it — so push-mode consumers (the always-on detection service feeds
+    each stream's lines as they arrive off a socket) get bit-identical
+    events, reports, and exceptions by construction, not by a parallel
+    reimplementation.  The cross-line state is exactly what the old
+    generator kept in locals: the open event and its frames, the
+    resynchronization flag, the per-etype shallowest-complete-walk table
+    powering the truncated-tail heuristic, and the running line number.
+    """
+
+    def __init__(
+        self,
+        policy: str = "strict",
+        report: Optional[ParseReport] = None,
+        require_complete_tail: bool = False,
+    ):
+        if policy not in PARSE_POLICIES:
+            raise ValueError(
+                f"unknown parse policy {policy!r}; expected one of {PARSE_POLICIES}"
+            )
+        self.policy = policy
+        self.strict = policy == "strict"
+        self.report = report if report is not None else ParseReport()
+        self.require_complete_tail = require_complete_tail
+        #: the open event awaiting the rest of its stack block
+        self.current: Optional[EventRecord] = None
+        self.frames: List[StackFrame] = []
+        #: lines consumed by the open event (its EVENT line + stack lines)
+        self.pending = 0
+        #: resynchronizing: discard lines until the next well-formed EVENT
+        self.skipping = False
+        #: shallowest completed stack walk per etype — the truncated-tail
+        #: heuristic: a final walk shallower than *every* complete walk
+        #: seen for its etype is suspect; one at a previously-seen depth
+        #: is a legitimate ending (stack depths vary per call site)
+        self.depths: dict = {}
+        self.lineno = 0
+
+    @property
+    def virgin(self) -> bool:
+        """True at a clean block boundary: no open event, not inside a
+        corrupt region.  The streaming fast path may bulk-parse a region
+        only from this state."""
+        return self.current is None and not self.skipping
+
+    # -- bookkeeping helpers ------------------------------------------
+    def _issue(self, kind: ParseErrorKind, message: str, num: int) -> None:
+        self.report.record(kind, num, message)
+        self.report.error_lines += 1
+        if self.policy == "warn":
             warnings.warn(f"line {num}: {message}", ParseWarning, stacklevel=4)
 
-    def fatal(kind: ParseErrorKind, message: str, num: int) -> ParseError:
+    def _fatal(self, kind: ParseErrorKind, message: str, num: int) -> ParseError:
         # Strict-mode bookkeeping: finalize the report *before* raising
         # so its exhaustive accounting (blank + consumed + error +
         # discarded == total) holds even for an aborted parse.  The
         # fatal line is the error line; the open event was never
         # yielded, so its already-consumed lines are discarded with it.
-        nonlocal current, frames, pending
+        report = self.report
         report.record(kind, num, message)
         report.error_lines += 1
-        if current is not None:
-            report.discarded_lines += pending
+        if self.current is not None:
+            report.discarded_lines += self.pending
             report.events_dropped += 1
-            current, frames, pending = None, [], 0
+            self.current, self.frames, self.pending = None, [], 0
         return ParseError(message, num, kind=kind)
 
-    def finish(event: EventRecord, walk: List[StackFrame]) -> EventRecord:
-        report.events_yielded += 1
-        known = depths.get(event.etype)
+    def _complete(self, event: EventRecord, walk: List[StackFrame]) -> EventRecord:
+        self.report.events_yielded += 1
+        known = self.depths.get(event.etype)
         if known is None or len(walk) < known:
-            depths[event.etype] = len(walk)
+            self.depths[event.etype] = len(walk)
         return event.with_frames(walk)
 
-    def drop_current() -> None:
-        nonlocal current, frames, pending
-        if current is not None:
-            report.discarded_lines += pending
-            report.events_dropped += 1
-            current, frames, pending = None, [], 0
+    def _drop_current(self) -> None:
+        if self.current is not None:
+            self.report.discarded_lines += self.pending
+            self.report.events_dropped += 1
+            self.current, self.frames, self.pending = None, [], 0
 
-    for lineno, raw in enumerate(lines, start=1):
+    def observe_bulk_events(self, events: Sequence[EventRecord]) -> None:
+        """Record complete, already-validated events that a bulk fast
+        path produced for this stream, keeping the truncated-tail
+        depth table exactly as if they had been fed line by line.
+
+        The caller owns the matching :class:`ParseReport` line
+        accounting (bulk regions are perfectly clean, so every line is
+        blank or consumed); see ``repro.etw.fastparse.StreamingParser``.
+        """
+        depths = self.depths
+        for event in events:
+            etype = event.etype
+            walk_len = len(event.frames)
+            known = depths.get(etype)
+            if known is None or walk_len < known:
+                depths[etype] = walk_len
+        self.report.events_yielded += len(events)
+
+    # -- the per-line state machine -----------------------------------
+    def feed(self, raw: LogLine) -> Optional[EventRecord]:
+        """Advance the machine by one raw line; returns the event the
+        line completed, if any.  Strict mode raises :class:`ParseError`
+        exactly where the batch parser would."""
+        self.lineno += 1
+        lineno = self.lineno
+        report = self.report
+        strict = self.strict
         report.total_lines += 1
         if isinstance(raw, (bytes, bytearray)):
             # read_log_lines hands undecodable lines through as raw
             # bytes; classify instead of crashing mid-scan.  The line's
             # tag is unreadable, so like any garbled field it corrupts
             # the open event's stack block.
-            if skipping:
+            if self.skipping:
                 report.discarded_lines += 1
-                continue
+                return None
             message = "line is not valid UTF-8"
             if strict:
-                raise fatal(ParseErrorKind.BAD_ENCODING, message, lineno)
-            issue(ParseErrorKind.BAD_ENCODING, message, lineno)
-            drop_current()
-            skipping = True
-            continue
+                raise self._fatal(ParseErrorKind.BAD_ENCODING, message, lineno)
+            self._issue(ParseErrorKind.BAD_ENCODING, message, lineno)
+            self._drop_current()
+            self.skipping = True
+            return None
         line = raw.rstrip("\n")
         if not line.strip():
             report.blank_lines += 1
-            continue
+            return None
         fields = line.split("|")
         tag = fields[0]
 
-        if skipping:
+        if self.skipping:
             # Resynchronize at the next well-formed EVENT line; everything
             # until then belongs to the corrupt region and is discarded
             # (without recording further issues for the same region).
@@ -300,63 +413,69 @@ def _iter_parse(
                 except ValueError:
                     candidate = None
                 if candidate is not None:
-                    if current is not None:
-                        report.consumed_lines += pending
-                        yield finish(current, frames)
-                    skipping = False
-                    current, frames, pending = candidate, [], 1
-                    continue
+                    emitted = None
+                    if self.current is not None:
+                        report.consumed_lines += self.pending
+                        emitted = self._complete(self.current, self.frames)
+                    self.skipping = False
+                    self.current, self.frames, self.pending = candidate, [], 1
+                    return emitted
             if tag == "EVENT":
                 report.events_dropped += 1
             report.discarded_lines += 1
-            continue
+            return None
 
         if tag == "EVENT":
             if len(fields) != _EVENT_FIELDS:
                 message = f"EVENT needs {_EVENT_FIELDS} fields, got {len(fields)}"
                 if strict:
-                    raise fatal(ParseErrorKind.BAD_FIELD, message, lineno)
+                    raise self._fatal(ParseErrorKind.BAD_FIELD, message, lineno)
                 # The previous event is complete; the malformed one is lost.
-                if current is not None:
-                    report.consumed_lines += pending
-                    yield finish(current, frames)
-                    current, frames, pending = None, [], 0
-                issue(ParseErrorKind.BAD_FIELD, message, lineno)
+                emitted = None
+                if self.current is not None:
+                    report.consumed_lines += self.pending
+                    emitted = self._complete(self.current, self.frames)
+                    self.current, self.frames, self.pending = None, [], 0
+                self._issue(ParseErrorKind.BAD_FIELD, message, lineno)
                 report.events_dropped += 1
-                skipping = True
-                continue
-            if current is not None:
-                report.consumed_lines += pending
-                yield finish(current, frames)
-                current, frames, pending = None, [], 0
+                self.skipping = True
+                return emitted
+            emitted = None
+            if self.current is not None:
+                report.consumed_lines += self.pending
+                emitted = self._complete(self.current, self.frames)
+                self.current, self.frames, self.pending = None, [], 0
             try:
-                current = _event_from_fields(fields)
+                self.current = _event_from_fields(fields)
             except ValueError as exc:
                 message = f"bad EVENT field: {exc}"
                 if strict:
-                    raise fatal(ParseErrorKind.BAD_FIELD, message, lineno) from None
-                issue(ParseErrorKind.BAD_FIELD, message, lineno)
+                    raise self._fatal(
+                        ParseErrorKind.BAD_FIELD, message, lineno
+                    ) from None
+                self._issue(ParseErrorKind.BAD_FIELD, message, lineno)
                 report.events_dropped += 1
-                skipping = True
-                continue
-            frames = []
-            pending = 1
+                self.skipping = True
+                return emitted
+            self.frames = []
+            self.pending = 1
+            return emitted
         elif tag == "STACK":
             if len(fields) != _STACK_FIELDS:
                 message = f"STACK needs {_STACK_FIELDS} fields, got {len(fields)}"
                 if strict:
-                    raise fatal(ParseErrorKind.BAD_FIELD, message, lineno)
-                issue(ParseErrorKind.BAD_FIELD, message, lineno)
-                drop_current()
-                skipping = True
-                continue
-            if current is None:
+                    raise self._fatal(ParseErrorKind.BAD_FIELD, message, lineno)
+                self._issue(ParseErrorKind.BAD_FIELD, message, lineno)
+                self._drop_current()
+                self.skipping = True
+                return None
+            if self.current is None:
                 message = "STACK line before any EVENT"
                 if strict:
-                    raise fatal(ParseErrorKind.ORPHAN_STACK, message, lineno)
-                issue(ParseErrorKind.ORPHAN_STACK, message, lineno)
-                skipping = True
-                continue
+                    raise self._fatal(ParseErrorKind.ORPHAN_STACK, message, lineno)
+                self._issue(ParseErrorKind.ORPHAN_STACK, message, lineno)
+                self.skipping = True
+                return None
             try:
                 eid = int(fields[1])
                 index = int(fields[2])
@@ -364,76 +483,108 @@ def _iter_parse(
             except ValueError as exc:
                 message = f"bad STACK field: {exc}"
                 if strict:
-                    raise fatal(ParseErrorKind.BAD_FIELD, message, lineno) from None
-                issue(ParseErrorKind.BAD_FIELD, message, lineno)
-                drop_current()
-                skipping = True
-                continue
-            if eid != current.eid:
-                message = f"STACK eid {eid} does not match EVENT eid {current.eid}"
-                if strict:
-                    raise fatal(ParseErrorKind.EID_MISMATCH, message, lineno)
-                issue(ParseErrorKind.EID_MISMATCH, message, lineno)
-                drop_current()
-                skipping = True
-                continue
-            if index != len(frames):
+                    raise self._fatal(
+                        ParseErrorKind.BAD_FIELD, message, lineno
+                    ) from None
+                self._issue(ParseErrorKind.BAD_FIELD, message, lineno)
+                self._drop_current()
+                self.skipping = True
+                return None
+            if eid != self.current.eid:
                 message = (
-                    f"non-contiguous frame index {index} (expected {len(frames)})"
+                    f"STACK eid {eid} does not match EVENT eid {self.current.eid}"
                 )
                 if strict:
-                    raise fatal(ParseErrorKind.FRAME_GAP, message, lineno)
-                issue(ParseErrorKind.FRAME_GAP, message, lineno)
-                drop_current()
-                skipping = True
-                continue
+                    raise self._fatal(ParseErrorKind.EID_MISMATCH, message, lineno)
+                self._issue(ParseErrorKind.EID_MISMATCH, message, lineno)
+                self._drop_current()
+                self.skipping = True
+                return None
+            if index != len(self.frames):
+                message = (
+                    f"non-contiguous frame index {index} "
+                    f"(expected {len(self.frames)})"
+                )
+                if strict:
+                    raise self._fatal(ParseErrorKind.FRAME_GAP, message, lineno)
+                self._issue(ParseErrorKind.FRAME_GAP, message, lineno)
+                self._drop_current()
+                self.skipping = True
+                return None
             key = (index, fields[3], fields[4], address)
-            frame = interned.get(key)
+            frame = _FRAME_INTERN.get(key)
             if frame is None:
                 frame = StackFrame(
                     index=index, module=fields[3], function=fields[4], address=address
                 )
-                interned[key] = frame
-            frames.append(frame)
-            pending += 1
+                _FRAME_INTERN[key] = frame
+            self.frames.append(frame)
+            self.pending += 1
+            return None
         else:
             message = f"unknown record tag {tag!r}"
             if strict:
-                raise fatal(ParseErrorKind.UNKNOWN_TAG, message, lineno)
-            issue(ParseErrorKind.UNKNOWN_TAG, message, lineno)
+                raise self._fatal(ParseErrorKind.UNKNOWN_TAG, message, lineno)
+            self._issue(ParseErrorKind.UNKNOWN_TAG, message, lineno)
             # Keep the open event: a stray foreign line between two event
             # blocks must not lose the completed event before it.  Its
             # EVENT/STACK lines stay pending until the next resync exit.
-            skipping = True
-            continue
+            self.skipping = True
+            return None
 
-    # -- end of input: truncated-tail detection -----------------------
-    tail_suspect = skipping
-    if current is not None and not tail_suspect:
-        known = depths.get(current.etype)
-        if known is not None and len(frames) < known:
-            tail_suspect = True
-    if tail_suspect:
-        report.truncated_tail = True
-        message = "log ends mid-stack-walk (truncated tail)"
-        report.record(ParseErrorKind.TRUNCATED_TAIL, max(lineno, 1), message)
-        if policy == "warn":
-            warnings.warn(
-                f"line {max(lineno, 1)}: {message}", ParseWarning, stacklevel=4
-            )
-        if require_complete_tail:
-            if strict:
-                # Finalize the report before raising: the truncated tail
-                # is an end-of-input condition (no error *line*), but the
-                # open event's consumed lines are lost with it.
-                drop_current()
-                raise ParseError(
-                    message, max(lineno, 1), kind=ParseErrorKind.TRUNCATED_TAIL
+    def finish(self) -> Optional[EventRecord]:
+        """End of input: run truncated-tail detection and flush (or
+        drop) the open event.  Returns the final event, if one is
+        yielded."""
+        report = self.report
+        lineno = self.lineno
+        tail_suspect = self.skipping
+        if self.current is not None and not tail_suspect:
+            known = self.depths.get(self.current.etype)
+            if known is not None and len(self.frames) < known:
+                tail_suspect = True
+        if tail_suspect:
+            report.truncated_tail = True
+            message = "log ends mid-stack-walk (truncated tail)"
+            report.record(ParseErrorKind.TRUNCATED_TAIL, max(lineno, 1), message)
+            if self.policy == "warn":
+                warnings.warn(
+                    f"line {max(lineno, 1)}: {message}", ParseWarning, stacklevel=4
                 )
-            drop_current()
-    if current is not None:
-        report.consumed_lines += pending
-        yield finish(current, frames)
+            if self.require_complete_tail:
+                if self.strict:
+                    # Finalize the report before raising: the truncated
+                    # tail is an end-of-input condition (no error *line*),
+                    # but the open event's consumed lines are lost with it.
+                    self._drop_current()
+                    raise ParseError(
+                        message, max(lineno, 1), kind=ParseErrorKind.TRUNCATED_TAIL
+                    )
+                self._drop_current()
+        if self.current is not None:
+            report.consumed_lines += self.pending
+            emitted = self._complete(self.current, self.frames)
+            self.current, self.frames, self.pending = None, [], 0
+            return emitted
+        return None
+
+
+def _iter_parse(
+    lines: Iterable[str],
+    policy: str,
+    report: ParseReport,
+    require_complete_tail: bool,
+) -> Iterator[EventRecord]:
+    machine = ParseMachine(
+        policy=policy, report=report, require_complete_tail=require_complete_tail
+    )
+    for raw in lines:
+        event = machine.feed(raw)
+        if event is not None:
+            yield event
+    event = machine.finish()
+    if event is not None:
+        yield event
 
 
 def parse_with_report(

@@ -75,6 +75,40 @@ def gaussian_cross_kernel(
     return np.exp(squared, out=squared)
 
 
+def gaussian_cross_kernel_blocked(
+    X: np.ndarray,
+    Y: np.ndarray,
+    y_norms: np.ndarray,
+    sigma2: float,
+    bounds,
+) -> np.ndarray:
+    """One fused cross-kernel over many row blocks of ``X``, with every
+    row bit-identical to :func:`gaussian_cross_kernel` run on its block
+    alone.
+
+    ``bounds`` is a sequence of ``(start, stop)`` row spans partitioning
+    ``X`` — in the serving micro-batcher, one span per stream scoring
+    chunk.  dgemm rounds shape-dependently (a row's product can change
+    in the last ulp when the matrix grows), so the two BLAS products are
+    evaluated *per block* at exactly the shapes the serial path would
+    use; every elementwise stage (row norms, the ‖x‖²+‖y‖²−2x·y
+    assembly, the exp) is elementwise-deterministic and runs fused
+    across the whole matrix.  That recovers most of the batching win —
+    the exp dominates the kernel cost — without perturbing a single
+    score bit.
+    """
+    X = np.asarray(X, dtype=float)
+    products = np.empty((X.shape[0], Y.shape[0]))
+    for start, stop in bounds:
+        np.dot(X[start:stop], Y.T, out=products[start:stop])
+    x_norms = np.sum(X * X, axis=1)
+    squared = x_norms[:, None] + y_norms[None, :] - 2.0 * products
+    np.maximum(squared, 0.0, out=squared)
+    squared /= 2.0 * sigma2
+    np.negative(squared, out=squared)
+    return np.exp(squared, out=squared)
+
+
 class PrecomputedKernel:
     """Distance cache shared by every (λ, σ²) × fold cell of a search.
 

@@ -41,7 +41,12 @@ from typing import Optional
 
 import numpy as np
 
-from repro.learning.kernels import Kernel, gaussian_cross_kernel, linear_kernel
+from repro.learning.kernels import (
+    Kernel,
+    gaussian_cross_kernel,
+    gaussian_cross_kernel_blocked,
+    linear_kernel,
+)
 
 _EPS = 1e-8
 
@@ -360,6 +365,44 @@ class KernelSVM:
             K = gaussian_cross_kernel(X, self._score_X, self._score_norms, sigma2)
             return K @ self._score_coef + self.b
         return self.kernel(X, self._sv_X) @ self._sv_coef + self.b
+
+    def decision_function_blocked(
+        self, X: np.ndarray, bounds
+    ) -> np.ndarray:
+        """Decision values for ``X`` whose rows are a concatenation of
+        independent blocks ``bounds = [(start, stop), ...]``, with every
+        block's scores bit-identical to ``decision_function(X[start:stop])``.
+
+        This is the serving micro-batcher's scoring call: windows from
+        many streams ride in one matrix, but each stream's chunk must
+        score exactly as it would have alone (dgemm rounds
+        shape-dependently), so the BLAS products run per block while the
+        elementwise kernel stages are fused across the whole matrix
+        (:func:`~repro.learning.kernels.gaussian_cross_kernel_blocked`).
+        """
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError(f"X must be (m, d), got shape {X.shape}")
+        sigma2 = getattr(self.kernel, "sigma2", None)
+        if (
+            self.alpha is None
+            or len(self.support_) == 0
+            or self._sv_X is None
+            or sigma2 is None
+            or self._score_norms is None
+        ):
+            # No Gaussian fast path (untrained / zero-SV / exotic
+            # kernel): per-block serial scoring is the definition.
+            return np.concatenate(
+                [self.decision_function(X[start:stop]) for start, stop in bounds]
+            ) if len(X) else np.zeros(0)
+        K = gaussian_cross_kernel_blocked(
+            X, self._score_X, self._score_norms, sigma2, bounds
+        )
+        scores = np.empty(len(X))
+        for start, stop in bounds:
+            scores[start:stop] = K[start:stop] @ self._score_coef + self.b
+        return scores
 
     def predict(
         self, X: Optional[np.ndarray] = None, gram: Optional[np.ndarray] = None

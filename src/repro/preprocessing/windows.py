@@ -86,6 +86,11 @@ class WindowCoalescer:
     ) -> List[Window]:
         return self.coalesce_with_matrix(features, events)[0]
 
+    def push_coalescer(self) -> "PushCoalescer":
+        """A fresh push-mode coalescer carrying this coalescer's geometry
+        — one per live stream in the serving path."""
+        return PushCoalescer(self.window_events, self.stride)
+
     def iter_coalesce(
         self, pairs: Iterable[Tuple[EventRecord, np.ndarray]]
     ) -> Iterator[Window]:
@@ -97,19 +102,11 @@ class WindowCoalescer:
         :meth:`coalesce` (same spans, bit-identical vectors) without ever
         materializing the event list.
         """
-        buffer: deque = deque(maxlen=self.window_events)
-        count = 0
+        coalescer = self.push_coalescer()
         for event, row in pairs:
-            buffer.append((event, row))
-            count += 1
-            start = count - self.window_events
-            if start >= 0 and start % self.stride == 0:
-                yield Window(
-                    start_index=start,
-                    start_eid=buffer[0][0].eid,
-                    end_eid=event.eid,
-                    vector=np.concatenate([pair[1] for pair in buffer]),
-                )
+            window = coalescer.push(event, row)
+            if window is not None:
+                yield window
 
     def coalesce_matrix(self, features: np.ndarray) -> np.ndarray:
         """Window vectors only, stacked into an ``(m, 3*window)`` matrix."""
@@ -130,3 +127,90 @@ class WindowCoalescer:
             for start in self._starts(len(event_weights))
         ]
         return np.asarray(values)
+
+
+class PushCoalescer:
+    """Push-mode core of :meth:`WindowCoalescer.iter_coalesce`: feed one
+    ``(event, feature_row)`` pair, get back the :class:`Window` it
+    completed, if any.
+
+    This is the per-stream coalescing state the serving workers keep
+    alive between socket payloads — a deque of at most ``window_events``
+    pending rows plus the running event count — so window spans and
+    vectors are bit-identical to the pull path no matter how the stream's
+    bytes were chunked in flight.
+    """
+
+    __slots__ = ("window_events", "stride", "buffer", "count")
+
+    def __init__(self, window_events: int, stride: int):
+        if window_events < 1:
+            raise ValueError("window_events must be >= 1")
+        if stride < 1:
+            raise ValueError("stride must be >= 1")
+        self.window_events = window_events
+        self.stride = stride
+        self.buffer: deque = deque(maxlen=window_events)
+        self.count = 0
+
+    def push(self, event: EventRecord, row: np.ndarray) -> "Window | None":
+        self.buffer.append((event, row))
+        self.count += 1
+        start = self.count - self.window_events
+        if start >= 0 and start % self.stride == 0:
+            return Window(
+                start_index=start,
+                start_eid=self.buffer[0][0].eid,
+                end_eid=event.eid,
+                vector=np.concatenate([pair[1] for pair in self.buffer]),
+            )
+        return None
+
+    def push_block(self, events, rows: np.ndarray) -> "list[Window]":
+        """Push a whole parsed block at once — the serving fast path for
+        bulk regions, equivalent to ``push(events[i], rows[i])`` per pair.
+
+        Window vectors come out bit-identical to the scalar path: a
+        window covering rows ``[j, j+w)`` of the held+new row matrix is
+        that slice flattened, which is exactly the ``np.concatenate`` of
+        the same per-event rows (pure data movement, no arithmetic).
+        """
+        n = len(events)
+        if n == 0:
+            return []
+        if n == 1:
+            window = self.push(events[0], rows[0])
+            return [window] if window is not None else []
+        window_events = self.window_events
+        stride = self.stride
+        base = self.count
+        held = list(self.buffer)
+        first_global = base - len(held)
+        if held:
+            combined = np.concatenate(
+                [np.stack([pair[1] for pair in held]), rows]
+            )
+            all_events = [pair[0] for pair in held]
+            all_events.extend(events)
+        else:
+            combined = np.asarray(rows)
+            all_events = list(events)
+        self.count = base + n
+        out: list = []
+        # windows whose final event lies in this block: start index in
+        # [base - w + 1, base + n - w], clamped to >= 0, on the stride
+        lo = max(0, base - window_events + 1)
+        first_start = -(-lo // stride) * stride
+        for start in range(first_start, base + n - window_events + 1, stride):
+            j = start - first_global
+            out.append(
+                Window(
+                    start_index=start,
+                    start_eid=all_events[j].eid,
+                    end_eid=all_events[j + window_events - 1].eid,
+                    vector=combined[j : j + window_events].reshape(-1),
+                )
+            )
+        for pair in zip(events[-window_events:], rows[-window_events:]):
+            self.buffer.append(pair)
+        return out

@@ -1,0 +1,206 @@
+"""Per-stream push pipeline: socket bytes → score-ready window chunks.
+
+One :class:`StreamScanner` holds everything a live stream needs between
+payloads: the byte-fragment buffer (lines split across socket reads),
+the incremental parser (:class:`repro.etw.fastparse.StreamingParser`),
+the push-mode window coalescer, and the open scoring chunk.  Feeding it
+the stream's bytes in *any* chunking produces windows — and, after
+scoring, detections — bit-identical to
+:meth:`LeapsDetector.scan_stream` over the whole log at once:
+
+* byte → line splitting mirrors :func:`repro.etw.parser.read_log_lines`
+  (``\\n``/``\\r\\n`` boundaries only; undecodable lines pass through as
+  ``bytes`` for ``BAD_ENCODING`` classification);
+* parsing *is* the scalar parser (shared
+  :class:`~repro.etw.parser.ParseMachine`), bulk-accelerated on clean
+  regions;
+* chunk boundaries replicate ``LeapsPipeline._score_stream``'s
+  ``stream_chunk_windows`` discipline exactly — chunk k covers windows
+  ``[k·chunk, (k+1)·chunk)`` of *this stream*, independent of how its
+  bytes interleaved with other streams' — which is what lets the
+  cross-stream micro-batcher score many streams per kernel call without
+  moving a single score bit (DESIGN.md §12).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional
+
+from repro.etw.fastparse import StreamingParser
+from repro.etw.parser import LogLine, ParseError
+from repro.serve.batching import ScoreChunk
+
+
+class StreamScanner:
+    """Push-mode equivalent of one ``scan_stream`` call."""
+
+    def __init__(
+        self,
+        stream_id: str,
+        pipeline,
+        policy: Optional[str] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if pipeline.model is None or pipeline.featurizer is None:
+            raise ValueError("StreamScanner needs a trained pipeline")
+        self.stream_id = stream_id
+        self.pipeline = pipeline
+        self.policy = policy or pipeline.parser.policy
+        self.parser = StreamingParser(policy=self.policy)
+        self.report = self.parser.report
+        self.coalescer = pipeline.coalescer.push_coalescer()
+        self.chunk_windows = int(pipeline.config.stream_chunk_windows)
+        self._clock = clock
+        self._transform = pipeline.featurizer.transform_event
+        self._batch_transform = pipeline.featurizer.transform
+        self._fragment = b""
+        self._pending: List = []  # windows of the open (partial) chunk
+        self._pending_times: List[float] = []
+        self._ready: List[ScoreChunk] = []
+        self.events_seen = 0
+        self.windows_made = 0
+        self.bytes_seen = 0
+        self.finished = False
+        self.disconnected = False
+        self.error: Optional[ParseError] = None
+
+    # -- ingest --------------------------------------------------------
+    def feed_bytes(self, data: bytes) -> None:
+        """Ingest the next raw payload; lines split across payloads are
+        held as a fragment until their newline arrives."""
+        self.bytes_seen += len(data)
+        buffer = self._fragment + data
+        pieces = buffer.split(b"\n")
+        self._fragment = pieces.pop()
+        if pieces:
+            self.feed_lines([self._decode(piece, strip_cr=True) for piece in pieces])
+
+    def feed_events(self, events: List) -> None:
+        """Ingest already-parsed events (a ``.leapscap`` capture served
+        by path) — same featurize/coalesce/chunk path, no parse."""
+        self._ingest(events)
+
+    def feed_lines(self, lines: List[LogLine]) -> None:
+        try:
+            events = self.parser.feed_lines(lines)
+        except ParseError as error:
+            # strict policy: the stream is dead; the report was
+            # finalized by the machine before raising
+            self.error = error
+            self.finished = True
+            raise
+        self._ingest(events)
+
+    def finish(self, disconnected: bool = False) -> None:
+        """End of stream: flush the fragment, run the parser's real
+        end-of-input (truncated-tail) logic, and close the open chunk.
+
+        ``disconnected`` marks a client that vanished without ``END`` —
+        its tail cannot be trusted, so ``report.truncated_tail`` is
+        forced on (recording a ``TRUNCATED_TAIL`` issue if the depth
+        heuristic had not already fired) and the partial result is
+        emitted rather than silently dropped.
+        """
+        if self.finished:
+            return
+        self.disconnected = disconnected
+        tail: List[LogLine] = []
+        if self._fragment:
+            # final unterminated line; a trailing \r is content here,
+            # exactly as in a batch read of the whole file
+            tail.append(self._decode(self._fragment, strip_cr=False))
+            self._fragment = b""
+        try:
+            events = self.parser.feed_lines(tail) if tail else []
+            events.extend(self.parser.finish())
+        except ParseError as error:
+            self.error = error
+            self.finished = True
+            raise
+        self._ingest(events)
+        if disconnected and not self.report.truncated_tail:
+            from repro.etw.recovery import ParseErrorKind
+
+            self.report.truncated_tail = True
+            self.report.record(
+                ParseErrorKind.TRUNCATED_TAIL,
+                max(self.parser.machine.lineno, 1),
+                "stream disconnected before END",
+            )
+        if self._pending:
+            self._ready.append(self._close_chunk(final=True))
+        self.finished = True
+
+    # -- scoring handoff -----------------------------------------------
+    @property
+    def unscored_windows(self) -> int:
+        """Windows parsed but not yet handed to a scoring call — the
+        backpressure watermark input."""
+        return len(self._pending) + sum(
+            len(chunk.windows) for chunk in self._ready
+        )
+
+    @property
+    def ready_window_count(self) -> int:
+        """Windows sitting in completed (score-ready) chunks."""
+        return sum(len(chunk.windows) for chunk in self._ready)
+
+    def take_ready(self) -> List[ScoreChunk]:
+        """Claim the completed chunks (the micro-batcher's input)."""
+        ready, self._ready = self._ready, []
+        return ready
+
+    # -- internals -----------------------------------------------------
+    @staticmethod
+    def _decode(piece: bytes, strip_cr: bool) -> LogLine:
+        if strip_cr and piece.endswith(b"\r"):
+            piece = piece[:-1]
+        try:
+            return piece.decode("utf-8")
+        except UnicodeDecodeError:
+            return piece
+
+    def _ingest(self, events: List) -> None:
+        if not events:
+            return
+        now = self._clock()
+        if len(events) >= 8:
+            # bulk region: vectorized featurization + block coalescing
+            # (bit-identical to the per-event path — the batch transform
+            # equals stacked transform_event rows, and block windows are
+            # the same row slices)
+            rows = self._batch_transform(events)
+            windows = self.coalescer.push_block(events, rows)
+        else:
+            transform = self._transform
+            push = self.coalescer.push
+            windows = []
+            for event in events:
+                window = push(event, transform(event))
+                if window is not None:
+                    windows.append(window)
+        pending = self._pending
+        times = self._pending_times
+        chunk_windows = self.chunk_windows
+        for window in windows:
+            pending.append(window)
+            times.append(now)
+            if len(pending) >= chunk_windows:
+                self._ready.append(self._close_chunk(final=False))
+                pending = self._pending
+                times = self._pending_times
+        self.events_seen += len(events)
+
+    def _close_chunk(self, final: bool) -> ScoreChunk:
+        chunk = ScoreChunk(
+            stream_id=self.stream_id,
+            pipeline=self.pipeline,
+            windows=self._pending,
+            times=self._pending_times,
+            final=final,
+        )
+        self.windows_made += len(self._pending)
+        self._pending = []
+        self._pending_times = []
+        return chunk

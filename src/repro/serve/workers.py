@@ -1,0 +1,439 @@
+"""Sharded scoring workers: per-stream state pinned, scoring batched.
+
+Streams are **consistently hashed to shards** (:func:`shard_for`, a
+CRC32 — the builtin ``hash`` is salted per process and would scatter a
+stream across restarts), so a stream's scanner state — parser machine,
+coalescer deque, open chunk — lives in exactly one worker for its whole
+life and never migrates.  Detections are therefore independent of the
+shard count: each stream is scored by one worker with the serial chunk
+discipline, and only *which* streams share a kernel call changes.
+
+Each worker runs :func:`shard_worker_loop` over an input queue:
+
+* control messages: ``open`` / ``data`` / ``end`` / ``abort`` /
+  ``stats`` / ``stop``;
+* after handling a message it opportunistically drains the queue, so
+  under load many streams' payloads land between scoring calls and
+  their ready chunks coalesce into one micro-batch
+  (:func:`repro.serve.batching.score_chunks`);
+* backpressure: every ``data`` payload is acknowledged after parsing
+  (the server bounds per-stream unacked bytes), and a stream whose
+  unscored-window queue crosses :data:`WINDOW_HIGH_WATER` gets an
+  explicit ``pause`` until scoring drains it under
+  :data:`WINDOW_LOW_WATER`.
+
+Bundles load once per worker through a :class:`ModelRegistry` built
+from the server's picklable spec, with
+:func:`repro.etw.parser.evict_frame_intern` as the reload hook — the
+frame intern table's safe eviction point.
+
+:class:`ShardPool` owns the worker fleet (``executor="process"`` for
+real serving, ``"thread"`` for in-process tests) plus the single output
+queue and its pump thread.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import threading
+import time
+import zlib
+from collections import deque
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from pathlib import Path
+
+from repro.core.persistence import BundleError
+from repro.etw.capture import CaptureError, is_capture_path, load_capture
+from repro.etw.parser import ParseError, evict_frame_intern, frame_intern_stats
+from repro.serve.batching import ScoreChunk, score_chunks
+from repro.serve.registry import ModelRegistry, UnknownModelError
+from repro.serve.streams import StreamScanner
+
+#: unscored windows per stream that trigger an explicit pause
+WINDOW_HIGH_WATER = 2048
+#: unscored windows per stream under which a paused stream resumes
+WINDOW_LOW_WATER = 512
+#: ready windows that force a scoring flush mid-drain
+BATCH_MAX_WINDOWS = 4096
+#: per-shard bound on retained window→detection latency samples
+LATENCY_SAMPLES = 200_000
+
+
+def shard_for(stream_id: str, n_shards: int) -> int:
+    """Stable shard assignment — same stream, same shard, always."""
+    return zlib.crc32(stream_id.encode("utf-8")) % n_shards
+
+
+def _detection_rows(chunk: ScoreChunk, scores: np.ndarray) -> List[tuple]:
+    return [
+        (
+            window.start_index,
+            window.start_eid,
+            window.end_eid,
+            float(score),
+            bool(score < 0.0),
+        )
+        for window, score in zip(chunk.windows, scores)
+    ]
+
+
+class _ShardState:
+    def __init__(self, shard_index: int, registry: ModelRegistry):
+        self.shard_index = shard_index
+        self.registry = registry
+        self.scanners: Dict[str, StreamScanner] = {}
+        self.closing: Dict[str, StreamScanner] = {}
+        self.paused: set = set()
+        self.ready_windows = 0
+        self.events_total = 0
+        self.windows_scored = 0
+        self.detections_total = 0
+        self.flagged_total = 0
+        self.batches = 0
+        self.batch_windows = 0
+        self.streams_completed = 0
+        self.latencies: deque = deque(maxlen=LATENCY_SAMPLES)
+        self.started = time.monotonic()
+
+
+def shard_worker_loop(
+    shard_index: int,
+    in_queue,
+    out_queue,
+    registry_spec: dict,
+) -> None:
+    """The worker main loop; identical under thread and process pools."""
+    registry = ModelRegistry.from_spec(
+        registry_spec, on_reload=evict_frame_intern
+    )
+    state = _ShardState(shard_index, registry)
+    put = out_queue.put
+    stop = False
+    while not stop:
+        message = in_queue.get()
+        stop = _handle(state, put, message)
+        # opportunistic drain: whatever arrived while we were busy gets
+        # parsed now, so the flush below scores it all in one batch
+        while not stop and state.ready_windows < BATCH_MAX_WINDOWS:
+            try:
+                message = in_queue.get_nowait()
+            except queue.Empty:
+                break
+            stop = _handle(state, put, message)
+        _flush(state, put)
+
+
+def _handle(state: _ShardState, put, message) -> bool:
+    kind = message[0]
+    if kind == "data":
+        _, stream_id, payload = message
+        scanner = state.scanners.get(stream_id)
+        if scanner is not None:
+            ready_before = scanner.ready_window_count
+            try:
+                scanner.feed_bytes(payload)
+            except ParseError as error:
+                _fail_stream(state, put, stream_id, scanner, error)
+            else:
+                state.ready_windows += scanner.ready_window_count - ready_before
+                if (
+                    stream_id not in state.paused
+                    and scanner.unscored_windows > WINDOW_HIGH_WATER
+                ):
+                    state.paused.add(stream_id)
+                    put(("pause", stream_id))
+        put(("ack", stream_id, len(payload)))
+        return False
+    if kind == "open":
+        _, stream_id, spec = message
+        try:
+            pipeline = state.registry.resolve(
+                spec.get("app"), spec.get("model_version")
+            )
+            scanner = StreamScanner(
+                stream_id, pipeline, policy=spec.get("policy")
+            )
+        except (UnknownModelError, BundleError, ValueError, OSError) as error:
+            put(
+                (
+                    "error",
+                    stream_id,
+                    {"error": str(error), "kind": type(error).__name__},
+                )
+            )
+            return False
+        path = spec.get("path")
+        if path is None:
+            state.scanners[stream_id] = scanner
+            return False
+        # server-local source: scan it whole through the same stream
+        # machinery, then close — the client only awaits the result
+        try:
+            ready_before = scanner.ready_window_count
+            if is_capture_path(path):
+                capture = load_capture(path)
+                if capture.report is not None:
+                    scanner.report.merge(capture.report)
+                scanner.feed_events(list(capture.events))
+                scanner.bytes_seen += sum(
+                    entry.stat().st_size for entry in Path(path).iterdir()
+                )
+            else:
+                scanner.feed_bytes(Path(path).read_bytes())
+            scanner.finish()
+        except ParseError as error:
+            _fail_stream(state, put, stream_id, scanner, error)
+            return False
+        except (OSError, CaptureError) as error:
+            put(
+                (
+                    "error",
+                    stream_id,
+                    {"error": str(error), "kind": type(error).__name__},
+                )
+            )
+            return False
+        state.ready_windows += scanner.ready_window_count - ready_before
+        state.closing[stream_id] = scanner
+        return False
+    if kind in ("end", "abort"):
+        _, stream_id = message
+        scanner = state.scanners.pop(stream_id, None)
+        if scanner is None:
+            return False
+        ready_before = scanner.ready_window_count
+        try:
+            scanner.finish(disconnected=(kind == "abort"))
+        except ParseError as error:
+            _fail_stream(state, put, stream_id, scanner, error)
+            return False
+        state.ready_windows += scanner.ready_window_count - ready_before
+        state.closing[stream_id] = scanner
+        return False
+    if kind == "stats":
+        _, token, include_latencies = message
+        put(("stats", state.shard_index, token, _stats(state, include_latencies)))
+        return False
+    if kind == "stop":
+        return True
+    raise RuntimeError(f"unknown worker message {kind!r}")
+
+
+def _fail_stream(
+    state: _ShardState, put, stream_id: str, scanner: StreamScanner, error
+) -> None:
+    """Strict-mode parse failure: the report was finalized by the parse
+    machine before raising; surface it with the error and free the
+    stream (its unscored windows die with it, as in a serial
+    ``scan_stream`` that raised)."""
+    state.scanners.pop(stream_id, None)
+    state.paused.discard(stream_id)
+    put(
+        (
+            "error",
+            stream_id,
+            {
+                "error": str(error),
+                "kind": getattr(error.kind, "name", None),
+                "lineno": error.lineno,
+                "report": scanner.report.to_dict(),
+            },
+        )
+    )
+
+
+def _flush(state: _ShardState, put) -> None:
+    """Score every ready chunk across every stream in one micro-batched
+    call, emit detections, resume drained streams, finalize closing
+    streams whose chunks are all scored."""
+    chunks: List[ScoreChunk] = []
+    for scanner in state.scanners.values():
+        chunks.extend(scanner.take_ready())
+    for scanner in state.closing.values():
+        chunks.extend(scanner.take_ready())
+    state.ready_windows = 0
+    if chunks:
+        results = score_chunks(chunks)
+        now = time.monotonic()
+        state.batches += 1
+        for chunk, scores in zip(chunks, results):
+            rows = _detection_rows(chunk, scores)
+            state.windows_scored += len(rows)
+            state.batch_windows += len(rows)
+            state.detections_total += len(rows)
+            state.flagged_total += sum(1 for row in rows if row[4])
+            state.latencies.extend(now - t for t in chunk.times)
+            put(("detections", chunk.stream_id, rows))
+    # resume streams whose unscored backlog drained
+    for stream_id in sorted(state.paused):
+        scanner = state.scanners.get(stream_id)
+        if scanner is None or scanner.unscored_windows < WINDOW_LOW_WATER:
+            state.paused.discard(stream_id)
+            put(("resume", stream_id))
+    # emit final results for fully-scored closing streams
+    for stream_id in list(state.closing):
+        scanner = state.closing[stream_id]
+        if scanner.unscored_windows:
+            continue
+        del state.closing[stream_id]
+        state.events_total += scanner.events_seen
+        state.streams_completed += 1
+        put(
+            (
+                "result",
+                stream_id,
+                {
+                    "stream_id": stream_id,
+                    "events": scanner.events_seen,
+                    "windows": scanner.windows_made,
+                    "bytes": scanner.bytes_seen,
+                    "disconnected": scanner.disconnected,
+                    "truncated_tail": scanner.report.truncated_tail,
+                    "report": scanner.report.to_dict(),
+                },
+            )
+        )
+
+
+def _quantile(samples: List[float], q: float) -> Optional[float]:
+    if not samples:
+        return None
+    return float(np.quantile(np.asarray(samples), q))
+
+
+def _stats(state: _ShardState, include_latencies: bool) -> dict:
+    samples = list(state.latencies)
+    elapsed = time.monotonic() - state.started
+    intern = frame_intern_stats()
+    stats = {
+        "shard": state.shard_index,
+        "streams_live": len(state.scanners),
+        "streams_closing": len(state.closing),
+        "streams_completed": state.streams_completed,
+        "streams_paused": len(state.paused),
+        "events_total": state.events_total
+        + sum(s.events_seen for s in state.scanners.values()),
+        "windows_scored": state.windows_scored,
+        "detections_total": state.detections_total,
+        "flagged_total": state.flagged_total,
+        "batches": state.batches,
+        "mean_batch_windows": (
+            state.batch_windows / state.batches if state.batches else 0.0
+        ),
+        "unscored_windows": {
+            stream_id: scanner.unscored_windows
+            for stream_id, scanner in state.scanners.items()
+            if scanner.unscored_windows
+        },
+        "stream_reports": {
+            stream_id: {
+                "events_yielded": scanner.report.events_yielded,
+                "events_dropped": scanner.report.events_dropped,
+                "error_lines": scanner.report.error_lines,
+                "truncated_tail": scanner.report.truncated_tail,
+            }
+            for stream_id, scanner in state.scanners.items()
+        },
+        "latency_s": {
+            "count": len(samples),
+            "p50": _quantile(samples, 0.50),
+            "p99": _quantile(samples, 0.99),
+        },
+        "frame_intern": {
+            "entries": intern.entries,
+            "approx_bytes": intern.approx_bytes,
+        },
+        "registry": state.registry.stats(),
+        "uptime_s": elapsed,
+    }
+    if include_latencies:
+        stats["latencies_s"] = samples
+    return stats
+
+
+class ShardPool:
+    """N shard workers plus the single output queue and its pump."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        n_shards: int = 1,
+        executor: str = "process",
+    ):
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if executor not in ("process", "thread"):
+            raise ValueError("executor must be 'process' or 'thread'")
+        self.n_shards = n_shards
+        self.executor = executor
+        spec = registry.spec()
+        if executor == "process":
+            context = multiprocessing.get_context()
+            self.out_queue = context.Queue()
+            self.in_queues = [context.Queue() for _ in range(n_shards)]
+            self.workers = [
+                context.Process(
+                    target=shard_worker_loop,
+                    args=(index, self.in_queues[index], self.out_queue, spec),
+                    daemon=True,
+                    name=f"leaps-shard-{index}",
+                )
+                for index in range(n_shards)
+            ]
+        else:
+            self.out_queue = queue.Queue()
+            self.in_queues = [queue.Queue() for _ in range(n_shards)]
+            self.workers = [
+                threading.Thread(
+                    target=shard_worker_loop,
+                    args=(index, self.in_queues[index], self.out_queue, spec),
+                    daemon=True,
+                    name=f"leaps-shard-{index}",
+                )
+                for index in range(n_shards)
+            ]
+        self._pump: Optional[threading.Thread] = None
+        self._started = False
+
+    def start(self, sink: Callable[[tuple], None]) -> None:
+        """Start every worker and the pump thread delivering worker
+        output messages to ``sink`` (called from the pump thread)."""
+        for worker in self.workers:
+            worker.start()
+        self._pump = threading.Thread(
+            target=self._pump_loop, args=(sink,), daemon=True, name="leaps-pump"
+        )
+        self._pump.start()
+        self._started = True
+
+    def _pump_loop(self, sink: Callable[[tuple], None]) -> None:
+        while True:
+            message = self.out_queue.get()
+            if message[0] == "__pump_stop__":
+                return
+            sink(message)
+
+    def shard_of(self, stream_id: str) -> int:
+        return shard_for(stream_id, self.n_shards)
+
+    def send(self, stream_id: str, message: tuple) -> None:
+        self.in_queues[self.shard_of(stream_id)].put(message)
+
+    def broadcast(self, message: tuple) -> None:
+        for in_queue in self.in_queues:
+            in_queue.put(message)
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if not self._started:
+            return
+        self.broadcast(("stop",))
+        for worker in self.workers:
+            worker.join(timeout)
+        self.out_queue.put(("__pump_stop__",))
+        if self._pump is not None:
+            self._pump.join(timeout)
+        self._started = False

@@ -158,3 +158,116 @@ class TestReportFilling:
     def test_unknown_policy_rejected(self):
         with pytest.raises(ValueError, match="policy"):
             parse_fast(TINY_LOG, policy="lenient")
+
+
+def _chunked(lines, seed):
+    """Deterministic pseudo-random chunking of a line list."""
+    import random
+
+    rng = random.Random(seed)
+    cursor = 0
+    chunks = []
+    while cursor < len(lines):
+        size = rng.randint(1, 7)
+        chunks.append(lines[cursor : cursor + size])
+        cursor += size
+    return chunks
+
+
+def run_streaming(lines, policy, seed, rct=False):
+    """Feed one input through StreamingParser in seeded chunks and the
+    scalar parser whole; assert total equivalence (events, frame
+    identity, reports, errors). Returns the events (None when raised)."""
+    from repro.etw.fastparse import StreamingParser
+
+    stream_report, scalar_report = ParseReport(), ParseReport()
+    stream_error = scalar_error = None
+    stream_events = scalar_events = None
+    parser = StreamingParser(
+        policy=policy, report=stream_report, require_complete_tail=rct
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        try:
+            collected = []
+            for chunk in _chunked(lines, seed):
+                collected.extend(parser.feed_lines(chunk))
+            collected.extend(parser.finish())
+            stream_events = collected
+        except ParseError as error:
+            stream_error = error
+        try:
+            scalar_events = list(
+                iter_parse(
+                    lines,
+                    policy=policy,
+                    report=scalar_report,
+                    require_complete_tail=rct,
+                )
+            )
+        except ParseError as error:
+            scalar_error = error
+    if scalar_error is not None:
+        assert stream_error is not None
+        assert stream_error.kind == scalar_error.kind
+        assert stream_error.lineno == scalar_error.lineno
+    else:
+        assert stream_error is None
+        assert stream_events == scalar_events
+        for mine, theirs in zip(stream_events, scalar_events):
+            for frame_a, frame_b in zip(mine.frames, theirs.frames):
+                assert frame_a is frame_b  # same intern table
+    assert stream_report.to_dict() == scalar_report.to_dict()
+    return stream_events
+
+
+class TestStreamingParser:
+    """The serving-side incremental parser: any chunking of any input
+    must be indistinguishable from one scalar parse of the whole."""
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_clean_log_any_chunking(self, policy, seed):
+        lines = split_log_text(TINY_LOG * 6)
+        events = run_streaming(lines, policy, seed)
+        assert len(events) == 18
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_fault_corpus_any_chunking(self, policy, seed):
+        base = split_log_text(TINY_LOG * 4)
+        for variant in fault_corpus(base, seed=0):
+            run_streaming(variant.lines, policy, seed)
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_bytes_lines_go_scalar(self, policy):
+        from repro.etw.fastparse import StreamingParser
+
+        lines = split_log_text(TINY_LOG)
+        lines.insert(3, b"\xff\xfe garbage")
+        run_streaming(lines, policy, seed=0)
+        parser = StreamingParser(policy="drop")
+        parser.feed_lines(lines)
+        assert parser.scalar_mode  # undecodable input forced the fallback
+
+    def test_backlog_limit_flips_to_scalar(self):
+        from repro.etw.fastparse import StreamingParser
+
+        parser = StreamingParser(policy="drop", backlog_limit=8)
+        parser.feed_lines(["# preamble"] * 9)  # no EVENT line in sight
+        assert parser.scalar_mode
+        assert parser.finish() == []
+        assert parser.report.events_yielded == 0
+
+    def test_feed_after_finish_rejected(self):
+        from repro.etw.fastparse import StreamingParser
+
+        parser = StreamingParser(policy="drop")
+        parser.finish()
+        with pytest.raises(RuntimeError):
+            parser.feed_lines(["EVENT|0|0|1|a|1|C|1|n"])
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_require_complete_tail(self, policy):
+        lines = split_log_text(TINY_LOG)[:-2]  # cut mid stack walk
+        run_streaming(lines, policy, seed=0, rct=True)

@@ -211,3 +211,48 @@ class TestFrameIntern:
         after = parser.parse_lines(tiny_log_lines)
         assert before == after
         assert before[0].frames[0] is not after[0].frames[0]
+
+
+class TestFrameInternBound:
+    """The always-on growth bound: stats observability plus the safe
+    eviction point the serving workers call between bundle reloads."""
+
+    def test_stats_track_entries_and_bytes(self, parser, tiny_log_lines):
+        from repro.etw.parser import frame_intern_stats
+
+        empty = frame_intern_stats()
+        assert empty.entries == 0
+        parser.parse_lines(tiny_log_lines)
+        stats = frame_intern_stats()
+        assert stats.entries == len(_FRAME_INTERN) > 0
+        assert stats.approx_bytes > stats.entries * 8
+
+    def test_evict_is_noop_under_the_bound(self, parser, tiny_log_lines):
+        from repro.etw.parser import evict_frame_intern, frame_intern_stats
+
+        parser.parse_lines(tiny_log_lines)
+        held = frame_intern_stats().entries
+        assert evict_frame_intern(max_entries=held) == 0
+        assert frame_intern_stats().entries == held
+
+    def test_evict_clears_when_over_the_bound(self, parser, tiny_log_lines):
+        from repro.etw.parser import evict_frame_intern, frame_intern_stats
+
+        events = parser.parse_lines(tiny_log_lines)
+        held = frame_intern_stats().entries
+        assert evict_frame_intern(max_entries=held - 1) == held
+        assert frame_intern_stats().entries == 0
+        # eviction is a cache drop, not a data change
+        assert parser.parse_lines(tiny_log_lines) == events
+
+    def test_evict_rejects_negative_bound(self):
+        from repro.etw.parser import evict_frame_intern
+
+        with pytest.raises(ValueError):
+            evict_frame_intern(max_entries=-1)
+
+    def test_default_bound_is_documented_constant(self):
+        from repro.etw.parser import FRAME_INTERN_MAX_ENTRIES, evict_frame_intern
+
+        assert FRAME_INTERN_MAX_ENTRIES == 1_000_000
+        assert evict_frame_intern() == 0  # a test-sized table is under it

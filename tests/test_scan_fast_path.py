@@ -219,3 +219,66 @@ class TestGoldenFleetScan:
         assert [r.detections for r in serial] == [r.detections for r in thread]
         assert [r.detections for r in serial] == [r.detections for r in process]
         assert all(r.detections for r in serial)
+
+
+class TestCaptureFleetScan:
+    """``.leapscap`` inputs through the fleet scan: in-memory capture
+    EventLogs reroute to the process pool as path references (the
+    worker re-reads the columnar file instead of unpickling events)."""
+
+    @pytest.fixture(scope="class")
+    def detector(self):
+        return tiny_detector()
+
+    @pytest.fixture(scope="class")
+    def capture_fixture(self, tmp_path_factory):
+        from repro.etw.capture import load_capture, write_capture
+
+        lines = make_log(SCAN_SPECS)
+        events = RawLogParser().parse_lines(lines)
+        path = write_capture(
+            tmp_path_factory.mktemp("caps") / "fleet.leapscap", events
+        )
+        return lines, str(path), load_capture(path)
+
+    def test_loaded_capture_carries_source(self, capture_fixture):
+        _, path, capture = capture_fixture
+        assert capture.events.source == path
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_capture_eventlog_parallel_equals_serial(
+        self, detector, capture_fixture, executor
+    ):
+        lines, path, capture = capture_fixture
+        want = detector.scan_log(lines)
+        results = detector.scan_logs(
+            [capture.events, path, lines],
+            n_jobs=2,
+            executor=executor,
+        )
+        assert [r.detections for r in results] == [want, want, want]
+        # the rerouted EventLog keeps its capture provenance
+        assert results[0].source == path
+        assert results[1].source == path
+        assert results[2].source is None
+
+    def test_capture_ref_detects_changed_capture(
+        self, detector, capture_fixture
+    ):
+        from repro.core.detector import _CaptureRef
+
+        _, path, capture = capture_fixture
+        stale = _CaptureRef(path, n_events=len(capture.events) + 1)
+        with pytest.raises(RuntimeError, match="changed during the scan"):
+            detector._scan_job(None, stale, None, False)
+
+    def test_eventlog_pickles_with_report_and_source(self, capture_fixture):
+        import pickle
+
+        _, path, capture = capture_fixture
+        clone = pickle.loads(pickle.dumps(capture.events))
+        assert list(clone) == list(capture.events)
+        assert clone.source == path
+        assert (clone.report is None) == (capture.events.report is None)
+        if clone.report is not None:
+            assert clone.report.to_dict() == capture.events.report.to_dict()

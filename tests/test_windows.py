@@ -77,3 +77,81 @@ class TestWindowWeights:
             WindowCoalescer(window_events=0)
         with pytest.raises(ValueError):
             WindowCoalescer(stride=0)
+
+
+class TestPushCoalescer:
+    """The serving-side push coalescer must reproduce the pull-mode
+    stream (and hence the batch path) window for window."""
+
+    @pytest.mark.parametrize("window,stride", [(2, 1), (3, 2), (4, 4), (5, 3)])
+    def test_push_matches_iter_coalesce(self, window, stride):
+        events = make_events(17)
+        features = np.arange(len(events) * 3, dtype=float).reshape(-1, 3)
+        coalescer = WindowCoalescer(window_events=window, stride=stride)
+        pulled = list(coalescer.iter_coalesce(zip(events, features)))
+        push = coalescer.push_coalescer()
+        pushed = []
+        for event, row in zip(events, features):
+            out = push.push(event, row)
+            if out is not None:
+                pushed.append(out)
+        assert len(pushed) == len(pulled)
+        for got, want in zip(pushed, pulled):
+            assert got.start_index == want.start_index
+            assert got.start_eid == want.start_eid
+            assert got.end_eid == want.end_eid
+            assert np.array_equal(got.vector, want.vector)
+
+    def test_short_stream_pushes_nothing(self):
+        push = WindowCoalescer(window_events=10, stride=5).push_coalescer()
+        for event in make_events(9):
+            assert push.push(event, np.zeros(3)) is None
+
+    def test_fresh_push_coalescer_per_stream(self):
+        coalescer = WindowCoalescer(window_events=2, stride=1)
+        first, second = coalescer.push_coalescer(), coalescer.push_coalescer()
+        events = make_events(4)
+        for event in events[:3]:
+            first.push(event, np.zeros(3))
+        # a second stream's coalescer starts from scratch
+        assert second.push(events[0], np.zeros(3)) is None
+        assert second.push(events[1], np.zeros(3)) is not None
+
+    @pytest.mark.parametrize("window,stride", [(2, 1), (3, 2), (4, 4), (5, 3)])
+    @pytest.mark.parametrize("split", [1, 3, 6, 17])
+    def test_push_block_matches_scalar_push(self, window, stride, split):
+        """Block pushes in any splitting reproduce the scalar push
+        stream window for window, bit for bit."""
+        events = make_events(17)
+        features = np.arange(len(events) * 3, dtype=float).reshape(-1, 3)
+        coalescer = WindowCoalescer(window_events=window, stride=stride)
+        scalar = coalescer.push_coalescer()
+        want = [
+            w
+            for event, row in zip(events, features)
+            for w in [scalar.push(event, row)]
+            if w is not None
+        ]
+        block = coalescer.push_coalescer()
+        got = []
+        for start in range(0, len(events), split):
+            got.extend(
+                block.push_block(
+                    events[start : start + split],
+                    features[start : start + split],
+                )
+            )
+        assert len(got) == len(want)
+        for mine, theirs in zip(got, want):
+            assert mine.start_index == theirs.start_index
+            assert mine.start_eid == theirs.start_eid
+            assert mine.end_eid == theirs.end_eid
+            assert np.array_equal(mine.vector, theirs.vector)
+        # the two coalescers stay interchangeable mid-stream
+        extra = make_events(20)[17:]
+        for event in extra:
+            row = np.full(3, float(event.eid))
+            a, b = scalar.push(event, row), block.push(event, row)
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert np.array_equal(a.vector, b.vector)
