@@ -53,7 +53,7 @@ from repro.etw.capture import convert_log, load_capture
 from repro.etw.fastparse import parse_fast
 from repro.etw.parser import read_log_lines
 
-from benchmarks.synth import synthetic_dataset
+from repro.datasets.generation import generate_dataset
 
 DATA_DIR = REPO_ROOT / "benchmarks" / ".data"
 
@@ -225,17 +225,29 @@ def main(argv=None) -> int:
                 for name in names
             ]
         else:
+            # Generate a real Table-I scenario (repro.datasets) instead
+            # of the retired ad-hoc corpus — same pipeline shape as the
+            # golden captures, deterministic on any fresh clone.
+            fallback = "vim_reverse_tcp"
             print(
                 "golden cache missing; generating deterministic "
-                "synthetic corpus",
+                f"synthetic dataset {fallback!r}",
                 flush=True,
+            )
+            dataset = generate_dataset(
+                fallback,
+                Path(scratch) / fallback,
+                args.seed,
+                scan_events=scan_events,
             )
             corpora = [
                 (
-                    f"synthetic-s{args.seed}",
-                    synthetic_dataset(
-                        Path(scratch) / "synth", args.seed, scan_events
-                    ),
+                    f"{fallback}-s{args.seed}",
+                    {
+                        "benign": dataset.logs["benign.log"].path,
+                        "mixed": dataset.logs["mixed.log"].path,
+                        "scan": dataset.logs["malicious.log"].path,
+                    },
                     "synthetic",
                 )
             ]

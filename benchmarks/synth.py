@@ -1,127 +1,78 @@
-"""Deterministic synthetic raw-log corpus for parser/ingest benchmarks.
+"""Deterministic synthetic raw-log corpus — shim over ``repro.datasets``.
 
-The golden dataset cache (``benchmarks/.data/``) is generated locally
-and not tracked in git, so benchmarks that must run anywhere (CI smoke
-jobs, fresh clones) fall back to this generator: seeded, pure-stdlib,
-and shaped like the real telemetry — a small population of distinct
-stack walks repeated across many events, benign traffic dominated by a
-handful of event types, and a payload beacon pattern mixed in.
+Historically this module carried its own ad-hoc generator; it is now a
+thin compatibility layer over the real scenario generator
+(:mod:`repro.datasets.generation`), keeping the two entry points the
+benchmarks import (``synthetic_log`` / ``synthetic_dataset``) with
+their original signatures.  The rewrite also retires two bugs in the
+old stopgap:
 
-Event rates and walk shapes are fixed by the seed alone, so two runs of
-the same benchmark parse byte-identical corpora.
+* stack addresses came from the builtin ``hash((module, function))``,
+  which varies with ``PYTHONHASHSEED`` — two processes produced
+  different bytes for the same seed.  All addresses now come from the
+  seeded simulated address space (no builtin ``hash()`` anywhere on
+  the generation path).
+* attack events carried payload frames only with probability 0.5, so
+  "attack" ground truth was half noise.  Every attack walk now
+  descends through payload symbols by construction, and the full
+  generator exposes exact per-event labels (``labels.json``).
+
+Event rates and walk shapes are fixed by the seed alone, so two runs
+of the same benchmark parse byte-identical corpora — now in any
+interpreter process.
 """
 
 from __future__ import annotations
 
-import random
 from pathlib import Path
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List
 
-#: (module, function) pools the synthetic stacks draw from.
-_APP_FRAMES = [
-    ("app.exe", "WinMain"),
-    ("app.exe", "message_pump"),
-    ("app.exe", "load_config"),
-    ("app.exe", "net_loop"),
-    ("app.exe", "render"),
-    ("app.exe", "on_event"),
-]
-_SYSTEM_FRAMES = [
-    ("kernel32.dll", "ReadFile"),
-    ("kernel32.dll", "WriteFile"),
-    ("user32.dll", "GetMessageW"),
-    ("ws2_32.dll", "send"),
-    ("ws2_32.dll", "recv"),
-    ("ntoskrnl.exe", "NtReadFile"),
-    ("ntoskrnl.exe", "NtWriteFile"),
-    ("win32k.sys", "NtUserGetMessage"),
-    ("tcpip.sys", "TcpSend"),
-]
-_PAYLOAD_FRAMES = [
-    ("payload.exe", "beacon"),
-    ("payload.exe", "exfil"),
-    ("payload.exe", "stage2"),
-]
-_BENIGN_ETYPES = [
-    ("UI_MESSAGE", 21, "ui_get_message"),
-    ("FILE_IO_READ", 3, "read_config"),
-    ("FILE_IO_WRITE", 4, "write_cache"),
-    ("TCP_SEND", 7, "send_data"),
-    ("TCP_RECV", 8, "recv_data"),
-]
-_ATTACK_ETYPES = [
-    ("TCP_SEND", 7, "send_data"),
-    ("FILE_IO_READ", 3, "read_config"),
-]
+from repro.datasets.catalog import CATALOG
+from repro.datasets.generation import ScenarioGenerator
+from repro.etw.parser import serialize_events
 
-
-def _walk_pool(
-    rng: random.Random, payload: bool, n_walks: int = 40
-) -> List[List[Tuple[str, str]]]:
-    """A fixed population of distinct app→system stack walks; real
-    fleets collapse millions of events onto a few hundred of these."""
-    pool = []
-    for _ in range(n_walks):
-        app = [_APP_FRAMES[0]] + rng.sample(
-            _APP_FRAMES[1:], rng.randint(1, 3)
-        )
-        if payload and rng.random() < 0.5:
-            app += rng.sample(_PAYLOAD_FRAMES, rng.randint(1, 2))
-        system = rng.sample(_SYSTEM_FRAMES, rng.randint(1, 3))
-        pool.append(app + system)
-    return pool
-
-
-def _emit(
-    lines: List[str],
-    eid: int,
-    timestamp: int,
-    etype: Tuple[str, int, str],
-    walk: Sequence[Tuple[str, str]],
-) -> None:
-    category, opcode, name = etype
-    lines.append(
-        f"EVENT|{eid}|{timestamp}|1000|app.exe|4|{category}|{opcode}|{name}"
-    )
-    for depth, (module, function) in enumerate(walk):
-        address = 0x400000 + (hash((module, function)) & 0xFFFFF)
-        lines.append(f"STACK|{eid}|{depth}|{module}|{function}|0x{address:x}")
+#: The catalog scenario backing the synthetic corpus: an app with both
+#: UI and network traffic plus a beacon payload, like the old shape.
+_SCENARIO = "putty_reverse_tcp"
 
 
 def synthetic_log(
     seed: str, n_events: int, attack_rate: float = 0.0
 ) -> List[str]:
     """One raw log of ``n_events`` events; ``attack_rate`` of them are
-    payload-frame beacons (0.0 → purely benign)."""
-    rng = random.Random(seed)
-    benign_walks = _walk_pool(rng, payload=False)
-    attack_walks = _walk_pool(rng, payload=True)
-    lines: List[str] = []
-    for eid in range(n_events):
-        if attack_rate and rng.random() < attack_rate:
-            etype = rng.choice(_ATTACK_ETYPES)
-            walk = rng.choice(attack_walks)
-        else:
-            etype = rng.choice(_BENIGN_ETYPES)
-            walk = rng.choice(benign_walks)
-        _emit(lines, eid, eid * 1000 + rng.randrange(1000), etype, walk)
-    return lines
+    payload-walk beacons (0.0 → purely benign)."""
+    generator = ScenarioGenerator(CATALOG[_SCENARIO], seed)
+    if attack_rate:
+        events, _ = generator.trace_session(
+            "synthetic", n_events, attack_rate, "A"
+        )
+    else:
+        events = generator.trace_benign(n_events)
+    return serialize_events(events)
 
 
 def synthetic_dataset(
     dst: Path, seed: int, scan_events: int, train_events: int = 4000
 ) -> Dict[str, Path]:
     """Write a benign/mixed/scan log triple under ``dst``; returns the
-    paths keyed by role.  Same seed → byte-identical files."""
+    paths keyed by role.  Same seed → byte-identical files.
+
+    All three logs share one simulated machine; the scan log carries a
+    fresh polymorphic payload build ("B"), as the real protocol does.
+    """
     dst.mkdir(parents=True, exist_ok=True)
+    generator = ScenarioGenerator(CATALOG[_SCENARIO], seed)
     roles = {
-        "benign": synthetic_log(f"{seed}:benign", train_events),
-        "mixed": synthetic_log(f"{seed}:mixed", train_events, attack_rate=0.3),
-        "scan": synthetic_log(f"{seed}:scan", scan_events, attack_rate=0.1),
+        "benign": generator.trace_benign(train_events),
+        "mixed": generator.trace_session(
+            "mixed", train_events, 0.3, "A"
+        )[0],
+        "scan": generator.trace_session("scan", scan_events, 0.1, "B")[0],
     }
     paths = {}
-    for role, lines in roles.items():
+    for role, events in roles.items():
         path = dst / f"{role}.log"
-        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        lines = serialize_events(events)
+        path.write_bytes(("\n".join(lines) + "\n").encode("utf-8"))
         paths[role] = path
     return paths

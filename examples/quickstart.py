@@ -1,18 +1,21 @@
-"""Train LEAPS on a cached golden dataset and scan its malicious log.
+"""Train LEAPS on a Table-I dataset and scan its malicious log.
 
 Run from the repo root:
 
     PYTHONPATH=src python examples/quickstart.py [dataset-dir]
 
 Defaults to the notepad++ reverse-TCP online-injection dataset under
-benchmarks/.data/.  (The dataset *generator* — repro.datasets — is not
-built yet; this example consumes the pre-generated cache.)
+benchmarks/.data/ when that cache exists; on a fresh clone it
+generates the same scenario deterministically with the dataset
+generator (``repro.datasets``, DESIGN.md §13) — no cache required.
 """
 
 import sys
+import tempfile
 from pathlib import Path
 
 from repro import LeapsConfig, LeapsDetector
+from repro.datasets import generate_dataset
 from repro.etw.parser import RawLogParser, serialize_events
 
 DEFAULT_DATASET = (
@@ -24,10 +27,19 @@ DEFAULT_DATASET = (
 
 
 def main() -> int:
-    dataset = Path(sys.argv[1]) if len(sys.argv) > 1 else DEFAULT_DATASET
-    if not dataset.is_dir():
-        print(f"dataset not found: {dataset}", file=sys.stderr)
-        return 1
+    if len(sys.argv) > 1:
+        dataset = Path(sys.argv[1])
+        if not dataset.is_dir():
+            print(f"dataset not found: {dataset}", file=sys.stderr)
+            return 1
+    elif DEFAULT_DATASET.is_dir():
+        dataset = DEFAULT_DATASET
+    else:
+        name = "notepad++_reverse_tcp_online"
+        print(f"golden cache missing; generating {name!r} ...")
+        dataset = Path(tempfile.mkdtemp(prefix="leaps-quickstart-")) / name
+        generate_dataset(name, dataset, seed=0,
+                         train_events=2000, scan_events=1000)
 
     benign = (dataset / "benign.log").read_text().splitlines()
     mixed = (dataset / "mixed.log").read_text().splitlines()

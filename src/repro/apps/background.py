@@ -1,0 +1,125 @@
+"""Background-process noise for whole-machine captures.
+
+Three always-on Windows services with their own small CFGs.  Dataset
+logs default to single-app traces (the pipeline trains per target
+process), but :func:`machine_log` interleaves a foreground app with
+these to exercise ``RawLogParser.slice_process`` on realistic input.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.apps.base import AppSpec, Operation
+from repro.apps.workloads import run_workload
+from repro.etw.events import EventRecord
+from repro.winsys.process import EventTracer, WindowsMachine
+
+SVCHOST = AppSpec(
+    name="svchost",
+    exe="svchost.exe",
+    functions=("wmain", "service_main", "rpc_dispatch", "timer_tick",
+               "policy_read", "evt_flush"),
+    libraries=frozenset({"kernel32.dll", "ntdll.dll", "advapi32.dll",
+                         "ws2_32.dll", "mswsock.dll"}),
+    operations=(
+        Operation("read_policy", "reg_query",
+                  (("wmain", "service_main", "policy_read"),),
+                  phase="startup"),
+        Operation("rpc_poll", "tcp_recv",
+                  (("wmain", "service_main", "rpc_dispatch"),),
+                  weight=3.0),
+        Operation("idle_wait", "sleep",
+                  (("wmain", "service_main", "timer_tick"),),
+                  weight=5.0),
+        Operation("flush_eventlog", "file_write",
+                  (("wmain", "service_main", "evt_flush"),),
+                  weight=1.0),
+    ),
+)
+
+EXPLORER = AppSpec(
+    name="explorer",
+    exe="explorer.exe",
+    functions=("wWinMain", "shell_loop", "tray_paint", "icon_cache_read",
+               "shell_notify"),
+    libraries=frozenset({"kernel32.dll", "ntdll.dll", "user32.dll",
+                         "gdi32.dll", "comctl32.dll", "advapi32.dll"}),
+    operations=(
+        Operation("warm_icon_cache", "file_read",
+                  (("wWinMain", "icon_cache_read"),),
+                  phase="startup"),
+        Operation("shell_pump", "ui_get_message",
+                  (("wWinMain", "shell_loop"),),
+                  weight=6.0),
+        Operation("tray_redraw", "ui_paint",
+                  (("wWinMain", "shell_loop", "tray_paint"),),
+                  weight=2.0),
+        Operation("change_notify", "file_query",
+                  (("wWinMain", "shell_loop", "shell_notify"),),
+                  weight=2.0),
+    ),
+)
+
+SEARCHINDEXER = AppSpec(
+    name="searchindexer",
+    exe="searchindexer.exe",
+    functions=("wmain", "crawl_loop", "doc_filter", "index_merge",
+               "usn_read"),
+    libraries=frozenset({"kernel32.dll", "ntdll.dll", "advapi32.dll"}),
+    operations=(
+        Operation("read_usn_journal", "file_read",
+                  (("wmain", "crawl_loop", "usn_read"),),
+                  phase="startup"),
+        Operation("crawl_document", "file_read",
+                  (("wmain", "crawl_loop", "doc_filter"),),
+                  weight=4.0),
+        Operation("merge_index", "file_write",
+                  (("wmain", "crawl_loop", "index_merge"),),
+                  weight=1.5),
+        Operation("throttle", "sleep",
+                  (("wmain", "crawl_loop"),),
+                  weight=3.0),
+    ),
+)
+
+BACKGROUND_APPS = (SVCHOST, EXPLORER, SEARCHINDEXER)
+
+
+def machine_log(
+    machine: WindowsMachine,
+    foreground: List[EventRecord],
+    n_background_events: int,
+    rng: random.Random,
+) -> List[EventRecord]:
+    """Interleave background-service events with a foreground trace.
+
+    Events merge by timestamp (eids are reassigned in merged order so
+    they stay monotone, as a real capture's would be).
+    """
+    streams = [list(foreground)]
+    for spec in BACKGROUND_APPS:
+        process = machine.spawn(spec.exe, spec.functions,
+                                image_size=spec.image_size)
+        tracer = EventTracer(process, rng)
+        share = n_background_events // len(BACKGROUND_APPS)
+        streams.append(run_workload(tracer, spec, share, rng))
+    merged = sorted(
+        (event for stream in streams for event in stream),
+        key=lambda event: (event.timestamp, event.pid, event.eid),
+    )
+    return [
+        EventRecord(
+            eid=index,
+            timestamp=event.timestamp,
+            pid=event.pid,
+            process=event.process,
+            tid=event.tid,
+            category=event.category,
+            opcode=event.opcode,
+            name=event.name,
+            frames=event.frames,
+        )
+        for index, event in enumerate(merged)
+    ]

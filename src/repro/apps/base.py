@@ -1,0 +1,128 @@
+"""Application behaviour models.
+
+An :class:`AppSpec` declares everything a scenario needs to simulate a
+benign application at the level LEAPS observes: its executable name,
+its app-space function set, the system libraries it touches, and its
+*operations* — each a behaviour-level event (``name`` over a syscall)
+with one or more app-space call paths.  The union of those call paths
+is the app's ground-truth CFG, which generated benign logs exercise
+and against which Algorithm 1's inferred CFG can be checked exactly.
+
+Every spec is validated at construction: operation paths may only use
+declared functions, syscall keys must exist in the taxonomy, and each
+syscall's user-space chain must stay inside the app's declared library
+footprint — so the five app models keep genuinely *distinct CFGs and
+library sets* (the property the per-app detectors rely on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Tuple
+
+from repro.etw.events import FrameNode
+from repro.winsys.syscalls import SYSCALLS
+
+PHASES = ("startup", "steady", "shutdown")
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One behaviour-level operation of an application.
+
+    ``name`` is the event name serialized into the log (the third
+    component of the behaviour-level etype); ``paths`` are the
+    alternative app-space call paths (function names, outermost first)
+    that can produce it; ``weight`` is the relative steady-state
+    sampling weight; ``phase`` places it in the workload script.
+    """
+
+    name: str
+    syscall: str
+    paths: Tuple[Tuple[str, ...], ...]
+    weight: float = 1.0
+    phase: str = "steady"
+
+    def __post_init__(self):
+        if self.syscall not in SYSCALLS:
+            raise ValueError(
+                f"operation {self.name!r}: unknown syscall {self.syscall!r}"
+            )
+        if self.phase not in PHASES:
+            raise ValueError(
+                f"operation {self.name!r}: unknown phase {self.phase!r}"
+            )
+        if not self.paths or any(not path for path in self.paths):
+            raise ValueError(
+                f"operation {self.name!r} needs at least one non-empty path"
+            )
+        if self.weight <= 0:
+            raise ValueError(f"operation {self.name!r}: weight must be > 0")
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """A benign application at LEAPS's observational level."""
+
+    name: str
+    exe: str
+    functions: Tuple[str, ...]
+    libraries: FrozenSet[str]
+    operations: Tuple[Operation, ...]
+    #: nominal image size — roomy enough for trojaned payload functions
+    image_size: int = 0x200000
+
+    def __post_init__(self):
+        declared = set(self.functions)
+        if len(self.functions) != len(declared):
+            raise ValueError(f"app {self.name!r}: duplicate function names")
+        for op in self.operations:
+            for path in op.paths:
+                unknown = set(path) - declared
+                if unknown:
+                    raise ValueError(
+                        f"app {self.name!r} op {op.name!r}: path uses "
+                        f"undeclared functions {sorted(unknown)}"
+                    )
+            chain_modules = {m for m, _ in SYSCALLS[op.syscall].user_chain}
+            escape = chain_modules - self.libraries
+            if escape:
+                raise ValueError(
+                    f"app {self.name!r} op {op.name!r}: syscall "
+                    f"{op.syscall!r} descends through {sorted(escape)}, "
+                    "outside the declared library footprint"
+                )
+        if not self.ops_in_phase("steady"):
+            raise ValueError(f"app {self.name!r} needs steady-state operations")
+
+    # -- derived views -------------------------------------------------
+    def ops_in_phase(self, phase: str) -> List[Operation]:
+        return [op for op in self.operations if op.phase == phase]
+
+    def entry(self) -> str:
+        """The app's entry-point function (first declared) — the node
+        offline trojan detours attach to."""
+        return self.functions[0]
+
+    def call_paths(self) -> List[Tuple[FrameNode, ...]]:
+        """Every distinct app-space call path, as CFG nodes."""
+        seen = {}
+        for op in self.operations:
+            for path in op.paths:
+                nodes = tuple((self.exe, function) for function in path)
+                seen.setdefault(nodes, None)
+        return list(seen)
+
+    def cfg_nodes(self) -> FrozenSet[FrameNode]:
+        return frozenset(
+            node for path in self.call_paths() for node in path
+        )
+
+    def cfg_edges(self) -> FrozenSet[Tuple[FrameNode, FrameNode]]:
+        """Ground-truth *explicit* CFG edges: adjacent frames of every
+        declared call path (what Algorithm 1 must recover from a log
+        that exercises every path)."""
+        edges = set()
+        for path in self.call_paths():
+            edges.update(zip(path, path[1:]))
+        return frozenset(edges)

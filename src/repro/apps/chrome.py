@@ -1,0 +1,66 @@
+"""Chrome (chrome.exe): browser workload.
+
+The widest library footprint of the five apps — HTTP via ``wininet``,
+TLS, DNS prefetching, disk cache — so behaviour that looks anomalous
+inside Vim (an HTTPS beacon, say) is routine here.  That asymmetry is
+what makes the reverse-HTTPS rows of Table I harder than reverse-TCP.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppSpec, Operation
+
+SPEC = AppSpec(
+    name="chrome",
+    exe="chrome.exe",
+    functions=(
+        "wWinMain", "message_loop", "renderer_tick", "net_fetch",
+        "dns_prefetch", "http_request", "tls_connect", "cache_read",
+        "cache_write", "raster_paint", "history_write", "pref_load",
+    ),
+    libraries=frozenset({"kernel32.dll", "ntdll.dll", "user32.dll",
+                         "gdi32.dll", "advapi32.dll", "ws2_32.dll",
+                         "mswsock.dll", "wininet.dll", "winhttp.dll",
+                         "crypt32.dll", "secur32.dll", "dnsapi.dll"}),
+    operations=(
+        Operation("load_prefs", "file_read",
+                  (("wWinMain", "pref_load"),),
+                  phase="startup"),
+        Operation("prefetch_dns", "dns_resolve",
+                  (("wWinMain", "net_fetch", "dns_prefetch"),),
+                  phase="startup"),
+        Operation("open_connection", "http_open",
+                  (("wWinMain", "net_fetch", "http_request"),),
+                  phase="startup"),
+        Operation("negotiate_tls", "tls_handshake",
+                  (("wWinMain", "net_fetch", "tls_connect"),),
+                  phase="startup"),
+        Operation("ui_pump", "ui_get_message",
+                  (("wWinMain", "message_loop"),),
+                  weight=7.0),
+        Operation("fetch_resource", "http_send",
+                  (("wWinMain", "message_loop", "net_fetch",
+                    "http_request"),),
+                  weight=4.0),
+        Operation("read_response", "http_recv",
+                  (("wWinMain", "message_loop", "net_fetch",
+                    "http_request"),),
+                  weight=4.0),
+        Operation("cache_lookup", "file_read",
+                  (("wWinMain", "message_loop", "net_fetch", "cache_read"),),
+                  weight=2.0),
+        Operation("cache_store", "file_write",
+                  (("wWinMain", "message_loop", "net_fetch", "cache_write"),),
+                  weight=2.0),
+        Operation("raster", "ui_paint",
+                  (("wWinMain", "message_loop", "renderer_tick",
+                    "raster_paint"),),
+                  weight=5.0),
+        Operation("update_history", "file_write",
+                  (("wWinMain", "message_loop", "history_write"),),
+                  weight=1.0),
+        Operation("flush_prefs", "file_write",
+                  (("wWinMain", "pref_load"),),
+                  phase="shutdown"),
+    ),
+)

@@ -1,0 +1,56 @@
+"""Notepad++ (notepad++.exe): document editor workload.
+
+GUI-heavy like Vim but with a registry/session habit and the common
+controls library, giving it a distinct CFG and library set.  The exe
+name exercises the parser's handling of ``+`` in process names, like
+the golden captures do.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppSpec, Operation
+
+SPEC = AppSpec(
+    name="notepad++",
+    exe="notepad++.exe",
+    functions=(
+        "WinMain", "msg_loop", "scintilla_paint", "doc_open", "doc_save",
+        "file_read_impl", "file_write_impl", "session_store", "plugin_scan",
+        "recent_update", "autosave_tick",
+    ),
+    libraries=frozenset({"kernel32.dll", "ntdll.dll", "user32.dll",
+                         "gdi32.dll", "comctl32.dll", "advapi32.dll"}),
+    operations=(
+        Operation("load_session", "file_read",
+                  (("WinMain", "session_store", "file_read_impl"),),
+                  phase="startup"),
+        Operation("scan_plugins", "file_query",
+                  (("WinMain", "plugin_scan"),),
+                  phase="startup"),
+        Operation("open_document", "file_read",
+                  (("WinMain", "doc_open", "file_read_impl"),),
+                  phase="startup"),
+        Operation("ui_pump", "ui_get_message",
+                  (("WinMain", "msg_loop"),),
+                  weight=8.0),
+        Operation("render_editor", "ui_paint",
+                  (("WinMain", "msg_loop", "scintilla_paint"),),
+                  weight=5.0),
+        Operation("autosave", "file_write",
+                  (("WinMain", "msg_loop", "autosave_tick",
+                    "file_write_impl"),),
+                  weight=1.5),
+        Operation("save_document", "file_write",
+                  (("WinMain", "msg_loop", "doc_save", "file_write_impl"),),
+                  weight=1.5),
+        Operation("update_recent", "reg_set",
+                  (("WinMain", "msg_loop", "recent_update"),),
+                  weight=1.0),
+        Operation("stat_document", "file_query",
+                  (("WinMain", "msg_loop", "doc_open"),),
+                  weight=1.0),
+        Operation("store_session", "file_write",
+                  (("WinMain", "session_store", "file_write_impl"),),
+                  phase="shutdown"),
+    ),
+)

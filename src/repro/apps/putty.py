@@ -1,0 +1,55 @@
+"""PuTTY (putty.exe): interactive SSH terminal workload.
+
+A raw-socket profile — session traffic goes through ``ws2_32`` send /
+recv with no HTTP or TLS libraries loaded, which keeps its library set
+disjoint from the browser-style apps.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppSpec, Operation
+
+SPEC = AppSpec(
+    name="putty",
+    exe="putty.exe",
+    functions=(
+        "WinMain", "msg_pump", "term_loop", "ssh_connect", "ssh_send",
+        "ssh_recv", "kex_handshake", "term_paint", "cfg_load", "log_write",
+        "host_resolve",
+    ),
+    libraries=frozenset({"kernel32.dll", "ntdll.dll", "user32.dll",
+                         "gdi32.dll", "advapi32.dll", "ws2_32.dll",
+                         "mswsock.dll", "dnsapi.dll"}),
+    operations=(
+        Operation("load_session", "reg_query",
+                  (("WinMain", "cfg_load"),),
+                  phase="startup"),
+        Operation("resolve_host", "dns_resolve",
+                  (("WinMain", "ssh_connect", "host_resolve"),),
+                  phase="startup"),
+        Operation("open_channel", "tcp_connect",
+                  (("WinMain", "ssh_connect"),),
+                  phase="startup"),
+        Operation("key_exchange", "tcp_send",
+                  (("WinMain", "ssh_connect", "kex_handshake", "ssh_send"),),
+                  phase="startup"),
+        Operation("ui_pump", "ui_get_message",
+                  (("WinMain", "msg_pump"),),
+                  weight=8.0),
+        Operation("send_keystrokes", "tcp_send",
+                  (("WinMain", "msg_pump", "term_loop", "ssh_send"),),
+                  weight=4.0),
+        Operation("recv_output", "tcp_recv",
+                  (("WinMain", "msg_pump", "term_loop", "ssh_recv"),),
+                  weight=5.0),
+        Operation("repaint_term", "ui_paint",
+                  (("WinMain", "msg_pump", "term_loop", "term_paint"),),
+                  weight=3.0),
+        Operation("log_session", "file_write",
+                  (("WinMain", "term_loop", "log_write"),),
+                  weight=1.0),
+        Operation("save_session", "reg_set",
+                  (("WinMain", "cfg_load"),),
+                  phase="shutdown"),
+    ),
+)

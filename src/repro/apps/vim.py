@@ -1,0 +1,61 @@
+"""Vim (vim.exe): keystroke-driven editor workload.
+
+Dominated by the getchar/redraw loop with periodic buffer I/O — the
+most UI-skewed of the five app profiles, and the smallest library
+footprint (no networking, no registry beyond nothing at all).
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppSpec, Operation
+
+SPEC = AppSpec(
+    name="vim",
+    exe="vim.exe",
+    functions=(
+        "main", "main_loop", "getchar_loop", "normal_cmd", "insert_loop",
+        "ex_command", "buf_read", "buf_write", "readfile_impl",
+        "writefile_impl", "update_screen", "regexp_search", "spell_load",
+        "swap_sync",
+    ),
+    libraries=frozenset({"kernel32.dll", "ntdll.dll", "user32.dll",
+                         "gdi32.dll"}),
+    operations=(
+        Operation("load_vimrc", "file_read",
+                  (("main", "buf_read", "readfile_impl"),),
+                  phase="startup"),
+        Operation("load_spellfile", "file_read",
+                  (("main", "spell_load", "readfile_impl"),),
+                  phase="startup"),
+        Operation("open_swapfile", "file_create",
+                  (("main", "buf_read", "swap_sync"),),
+                  phase="startup"),
+        Operation("read_document", "file_read",
+                  (("main", "main_loop", "ex_command", "buf_read",
+                    "readfile_impl"),),
+                  phase="startup"),
+        Operation("ui_getchar", "ui_get_message",
+                  (("main", "main_loop", "getchar_loop"),
+                   ("main", "main_loop", "insert_loop", "getchar_loop")),
+                  weight=10.0),
+        Operation("redraw", "ui_paint",
+                  (("main", "main_loop", "update_screen"),),
+                  weight=4.0),
+        Operation("search_pattern", "ui_peek_message",
+                  (("main", "main_loop", "normal_cmd", "regexp_search"),),
+                  weight=1.5),
+        Operation("write_swap", "file_write",
+                  (("main", "main_loop", "swap_sync", "writefile_impl"),),
+                  weight=2.0),
+        Operation("save_document", "file_write",
+                  (("main", "main_loop", "ex_command", "buf_write",
+                    "writefile_impl"),),
+                  weight=1.0),
+        Operation("stat_file", "file_query",
+                  (("main", "main_loop", "buf_read"),),
+                  weight=1.0),
+        Operation("write_viminfo", "file_write",
+                  (("main", "ex_command", "buf_write", "writefile_impl"),),
+                  phase="shutdown"),
+    ),
+)

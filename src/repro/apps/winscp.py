@@ -1,0 +1,62 @@
+"""WinSCP (winscp.exe): SFTP file-transfer workload.
+
+Pairs local file I/O with socket traffic inside single operations'
+neighbourhoods (upload = read then send, download = recv then write)
+and carries the TLS/crypto libraries PuTTY lacks.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppSpec, Operation
+
+SPEC = AppSpec(
+    name="winscp",
+    exe="winscp.exe",
+    functions=(
+        "WinMain", "ui_loop", "transfer_queue", "sftp_send", "sftp_recv",
+        "sftp_open", "crypt_verify", "dir_cache_write", "local_read",
+        "local_write", "remote_stat", "cfg_store", "panel_refresh",
+    ),
+    libraries=frozenset({"kernel32.dll", "ntdll.dll", "user32.dll",
+                         "gdi32.dll", "comctl32.dll", "advapi32.dll",
+                         "ws2_32.dll", "mswsock.dll", "crypt32.dll",
+                         "secur32.dll"}),
+    operations=(
+        Operation("load_config", "reg_query",
+                  (("WinMain", "cfg_store"),),
+                  phase="startup"),
+        Operation("connect_sftp", "tcp_connect",
+                  (("WinMain", "sftp_open"),),
+                  phase="startup"),
+        Operation("verify_hostkey", "tls_handshake",
+                  (("WinMain", "sftp_open", "crypt_verify"),),
+                  phase="startup"),
+        Operation("ui_pump", "ui_get_message",
+                  (("WinMain", "ui_loop"),),
+                  weight=7.0),
+        Operation("refresh_panel", "ui_paint",
+                  (("WinMain", "ui_loop", "panel_refresh"),),
+                  weight=3.0),
+        Operation("upload_read", "file_read",
+                  (("WinMain", "ui_loop", "transfer_queue", "local_read"),),
+                  weight=3.0),
+        Operation("upload_send", "tcp_send",
+                  (("WinMain", "ui_loop", "transfer_queue", "sftp_send"),),
+                  weight=3.0),
+        Operation("download_recv", "tcp_recv",
+                  (("WinMain", "ui_loop", "transfer_queue", "sftp_recv"),),
+                  weight=3.0),
+        Operation("download_write", "file_write",
+                  (("WinMain", "ui_loop", "transfer_queue", "local_write"),),
+                  weight=3.0),
+        Operation("stat_remote", "file_query",
+                  (("WinMain", "ui_loop", "remote_stat"),),
+                  weight=1.5),
+        Operation("cache_listing", "file_write",
+                  (("WinMain", "ui_loop", "dir_cache_write"),),
+                  weight=1.0),
+        Operation("store_config", "reg_set",
+                  (("WinMain", "cfg_store"),),
+                  phase="shutdown"),
+    ),
+)

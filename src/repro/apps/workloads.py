@@ -1,0 +1,55 @@
+"""Deterministic scripted workloads over an :class:`AppSpec`.
+
+A workload runs the app's startup operations once (in declared order),
+then samples steady-state operations by weight until the requested
+event count is reached, then runs the shutdown operations.  All
+sampling goes through the caller's ``random.Random`` using only
+platform-stable methods (``choices`` / ``choice``), so a fixed seed
+replays the identical event stream byte for byte.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.etw.events import EventRecord
+from repro.apps.base import AppSpec, Operation
+from repro.winsys.process import EventTracer
+
+
+def emit_op(
+    tracer: EventTracer, spec: AppSpec, op: Operation, rng: random.Random
+) -> EventRecord:
+    """Emit one operation, drawing among its alternative paths."""
+    path = op.paths[0] if len(op.paths) == 1 else rng.choice(op.paths)
+    app_path = [(spec.exe, function) for function in path]
+    return tracer.emit(op.name, op.syscall, app_path)
+
+
+def run_workload(
+    tracer: EventTracer,
+    spec: AppSpec,
+    n_events: int,
+    rng: random.Random,
+) -> List[EventRecord]:
+    """Trace ``n_events`` events of ``spec``'s scripted behaviour.
+
+    Startup and shutdown phases are always included (the count is
+    clamped up to fit them), so every generated log exercises the full
+    ground-truth CFG given enough steady-state draws.
+    """
+    startup = spec.ops_in_phase("startup")
+    shutdown = spec.ops_in_phase("shutdown")
+    steady = spec.ops_in_phase("steady")
+    weights = [op.weight for op in steady]
+    n_steady = max(0, n_events - len(startup) - len(shutdown))
+
+    events: List[EventRecord] = []
+    for op in startup:
+        events.append(emit_op(tracer, spec, op, rng))
+    for op in rng.choices(steady, weights=weights, k=n_steady):
+        events.append(emit_op(tracer, spec, op, rng))
+    for op in shutdown:
+        events.append(emit_op(tracer, spec, op, rng))
+    return events

@@ -1,0 +1,82 @@
+"""Offline infection: the trojaned-binary delivery model.
+
+The attacker rebuilds the target application's executable with the
+payload merged into its image (Table I's offline rows).  Observable
+consequences, mirrored here exactly:
+
+* payload frames resolve inside the **app's own image** — module name
+  is the app exe, addresses sit in its text region, so the stack
+  partitioner keeps them on the app side and nothing looks "unknown";
+* the payload runs off a detour from the app's entry point, so every
+  attack walk is rooted at the app entry node — one shared CFG node
+  with benign behaviour (that overlap is what drags trojaned-app
+  benignity above zero in Algorithm 2);
+* attack events run on the app's main thread.
+
+:class:`AttackInstance` is the common handle both delivery models
+produce: enough to turn a payload op into a concrete app-space walk.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.apps.base import AppSpec
+from repro.attacks.encoder import PayloadBuild
+from repro.attacks.payloads import PayloadOp
+from repro.etw.events import FrameNode
+from repro.winsys.process import SimulatedProcess
+
+
+@dataclass(frozen=True)
+class AttackInstance:
+    """One delivered payload inside one process."""
+
+    build: PayloadBuild
+    #: module whose image hosts the payload symbols
+    module: str
+    #: app-space frames prepended to every attack walk (the detour root)
+    prefix: Tuple[FrameNode, ...]
+    #: thread the payload runs on; ``None`` → the process main thread
+    tid: Optional[int] = None
+
+    def app_path(self, op: PayloadOp) -> Tuple[FrameNode, ...]:
+        return self.prefix + tuple(
+            (self.module, name) for name in self.build.rename(op)
+        )
+
+
+def infect_offline(
+    process: SimulatedProcess, app: AppSpec, build: PayloadBuild
+) -> AttackInstance:
+    """Trojanize a spawned app process with ``build``.
+
+    Adds the build's obfuscated symbols to the app's executable image
+    at build-RNG-chosen offsets (benign symbols were placed first, so
+    their addresses are untouched relative to a clean spawn — the
+    benign half of a trojaned log matches the clean logs exactly).
+    """
+    if process.image.name != app.exe:
+        raise ValueError(
+            f"process runs {process.image.name!r}, spec is {app.exe!r}"
+        )
+    rng = build_layout_rng(build)
+    process.image.add_functions(build.function_names(), rng)
+    return AttackInstance(
+        build=build,
+        module=app.exe,
+        prefix=((app.exe, app.entry()),),
+        tid=None,
+    )
+
+
+def build_layout_rng(build: PayloadBuild) -> random.Random:
+    """Per-build layout RNG — keyed on the build identity *and* its
+    obfuscated names, so symbol placement re-randomizes with every
+    build and never reuses name-stream state."""
+    return random.Random(
+        f"leaps-infect:{build.spec.name}:{build.build_id}:"
+        f"{'.'.join(build.function_names())}"
+    )

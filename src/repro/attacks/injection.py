@@ -1,0 +1,46 @@
+"""Online injection: the remote code-injection delivery model.
+
+The attacker injects the payload into an already-running clean process
+(Table I's ``*_online`` rows).  Observable consequences:
+
+* payload code executes from a ``VirtualAlloc``-ed region outside any
+  loaded image, so the stack walker attributes its frames to
+  ``<unknown>`` — still app-side under the partition rule (not a
+  ``.dll``/``.sys``), but sharing **no** CFG node with the host app;
+* there is no detour through the app entry: attack walks are rooted
+  directly in injected code (benignity 0 for every pure-payload walk);
+* the payload runs on its own remote thread, not the app main thread.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.encoder import PayloadBuild
+from repro.attacks.infection import AttackInstance, build_layout_rng
+from repro.winsys.process import SimulatedProcess
+
+#: Module name the walker reports for frames outside any loaded image.
+UNKNOWN_MODULE = "<unknown>"
+
+#: tid offset separating the remote thread from app threads.
+REMOTE_THREAD_OFFSET = 1900
+
+
+def inject_online(
+    process: SimulatedProcess, build: PayloadBuild
+) -> AttackInstance:
+    """Inject ``build`` into a running process.
+
+    Maps an anonymous region in the target's address space, lands the
+    payload symbols there, and returns an instance bound to a fresh
+    remote thread.
+    """
+    rng = build_layout_rng(build)
+    process.map_payload_region(
+        UNKNOWN_MODULE, build.function_names(), rng
+    )
+    return AttackInstance(
+        build=build,
+        module=UNKNOWN_MODULE,
+        prefix=(),
+        tid=process.main_tid + REMOTE_THREAD_OFFSET,
+    )

@@ -1,0 +1,93 @@
+"""msfvenom/handler facade: build → deliver → run a beacon session.
+
+Thin orchestration over the payload/encoder/delivery modules with the
+same shape the real toolchain has: :func:`msfvenom` produces an
+encoded build, :func:`deliver` drops it via either delivery model, and
+:func:`run_attack` plays the handler side — setup ops once, then
+weighted beacon traffic — emitting fully-walked events through an
+:class:`~repro.winsys.process.EventTracer`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.apps.base import AppSpec
+from repro.attacks.encoder import PayloadBuild, PolymorphicEncoder
+from repro.attacks.infection import AttackInstance, infect_offline
+from repro.attacks.injection import inject_online
+from repro.attacks.payloads import PAYLOADS, PayloadOp
+from repro.etw.events import EventRecord
+from repro.winsys.process import EventTracer, SimulatedProcess
+
+DELIVERY_METHODS = ("offline", "online")
+
+
+def msfvenom(payload: str, seed: str, build_id: str) -> PayloadBuild:
+    """One encoded build of a named payload (re-run with a different
+    ``build_id`` to model the attacker rebuilding before deployment)."""
+    return PolymorphicEncoder(seed).encode(PAYLOADS[payload], build_id)
+
+
+def deliver(
+    process: SimulatedProcess,
+    app: AppSpec,
+    build: PayloadBuild,
+    method: str,
+) -> AttackInstance:
+    if method == "offline":
+        return infect_offline(process, app, build)
+    if method == "online":
+        return inject_online(process, build)
+    raise ValueError(
+        f"unknown delivery method {method!r}; expected {DELIVERY_METHODS}"
+    )
+
+
+def emit_attack(
+    tracer: EventTracer,
+    instance: AttackInstance,
+    op: PayloadOp,
+) -> EventRecord:
+    """Emit one payload op through the tracer on the payload thread."""
+    return tracer.emit(
+        op.name, op.syscall, instance.app_path(op), tid=instance.tid
+    )
+
+
+def run_setup(
+    tracer: EventTracer, instance: AttackInstance
+) -> List[EventRecord]:
+    """The one-time staging burst (runs at first payload activation)."""
+    return [
+        emit_attack(tracer, instance, op)
+        for op in instance.build.spec.setup_ops()
+    ]
+
+
+def run_beacon(
+    tracer: EventTracer,
+    instance: AttackInstance,
+    n_events: int,
+    rng: random.Random,
+) -> List[EventRecord]:
+    """``n_events`` of weighted steady-state payload traffic."""
+    ops = instance.build.spec.beacon_ops()
+    weights = [op.weight for op in ops]
+    return [
+        emit_attack(tracer, instance, op)
+        for op in rng.choices(ops, weights=weights, k=n_events)
+    ]
+
+
+def run_attack(
+    tracer: EventTracer,
+    instance: AttackInstance,
+    n_events: int,
+    rng: random.Random,
+) -> List[EventRecord]:
+    """Setup once, then beacon traffic, ``n_events`` total."""
+    setup = run_setup(tracer, instance)
+    remaining = max(0, n_events - len(setup))
+    return setup + run_beacon(tracer, instance, remaining, rng)

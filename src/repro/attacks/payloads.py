@@ -1,0 +1,154 @@
+"""Payload behaviour models (the attack half of a scenario).
+
+A :class:`PayloadSpec` mirrors :class:`repro.apps.base.AppSpec` one
+level down: logical *roles* instead of function names (the polymorphic
+encoder assigns each role a fresh obfuscated name per build), and
+:class:`PayloadOp` call paths over those roles.  Crucially every op
+uses the **same syscall taxonomy as the benign apps** — that is the
+camouflage: a beacon's ``tcp_send`` walk ends in exactly the system
+chain PuTTY's keystroke traffic does, and only the app-space half of
+the stack betrays it.
+
+Three payloads cover Table I: staged reverse-TCP and reverse-HTTPS
+meterpreter-style beacons, and the ``Pwddlg`` credential-phishing
+dialog used by the codeinject rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Tuple
+
+from repro.winsys.syscalls import SYSCALLS
+
+PAYLOAD_PHASES = ("setup", "beacon")
+
+
+@dataclass(frozen=True)
+class PayloadOp:
+    """One attack operation: event name, syscall, role call path."""
+
+    name: str
+    syscall: str
+    path: Tuple[str, ...]
+    weight: float = 1.0
+    phase: str = "beacon"
+
+    def __post_init__(self):
+        if self.syscall not in SYSCALLS:
+            raise ValueError(
+                f"payload op {self.name!r}: unknown syscall {self.syscall!r}"
+            )
+        if self.phase not in PAYLOAD_PHASES:
+            raise ValueError(
+                f"payload op {self.name!r}: unknown phase {self.phase!r}"
+            )
+        if not self.path:
+            raise ValueError(f"payload op {self.name!r} needs a call path")
+        if self.weight <= 0:
+            raise ValueError(f"payload op {self.name!r}: weight must be > 0")
+
+
+@dataclass(frozen=True)
+class PayloadSpec:
+    """A payload as logical behaviour, independent of any build."""
+
+    name: str
+    roles: Tuple[str, ...]
+    ops: Tuple[PayloadOp, ...]
+
+    def __post_init__(self):
+        declared = set(self.roles)
+        if len(self.roles) != len(declared):
+            raise ValueError(f"payload {self.name!r}: duplicate roles")
+        for op in self.ops:
+            unknown = set(op.path) - declared
+            if unknown:
+                raise ValueError(
+                    f"payload {self.name!r} op {op.name!r}: undeclared "
+                    f"roles {sorted(unknown)}"
+                )
+        if not any(op.phase == "beacon" for op in self.ops):
+            raise ValueError(f"payload {self.name!r} needs beacon ops")
+
+    def setup_ops(self) -> Tuple[PayloadOp, ...]:
+        return tuple(op for op in self.ops if op.phase == "setup")
+
+    def beacon_ops(self) -> Tuple[PayloadOp, ...]:
+        return tuple(op for op in self.ops if op.phase == "beacon")
+
+
+REVERSE_TCP = PayloadSpec(
+    name="reverse_tcp",
+    roles=("entry", "loader", "comm", "beacon", "persist", "harvest"),
+    ops=(
+        PayloadOp("allocate_stage", "virtual_alloc",
+                  ("entry", "loader"), phase="setup"),
+        PayloadOp("connect", "tcp_connect",
+                  ("entry", "loader", "comm"), phase="setup"),
+        PayloadOp("send", "tcp_send", ("entry", "comm", "beacon"),
+                  weight=4.0),
+        PayloadOp("recv", "tcp_recv", ("entry", "comm", "beacon"),
+                  weight=4.0),
+        PayloadOp("sleep", "sleep", ("entry", "beacon"), weight=2.0),
+        PayloadOp("read_file", "file_read", ("entry", "beacon", "harvest"),
+                  weight=1.5),
+        PayloadOp("send", "tcp_send", ("entry", "harvest", "comm"),
+                  weight=1.0),
+        PayloadOp("set_value", "reg_set", ("entry", "persist"),
+                  weight=0.5),
+        PayloadOp("create_process", "proc_create", ("entry", "beacon"),
+                  weight=0.25),
+    ),
+)
+
+REVERSE_HTTPS = PayloadSpec(
+    name="reverse_https",
+    roles=("entry", "loader", "comm", "beacon", "persist", "harvest"),
+    ops=(
+        PayloadOp("allocate_stage", "virtual_alloc",
+                  ("entry", "loader"), phase="setup"),
+        PayloadOp("connect", "http_open",
+                  ("entry", "loader", "comm"), phase="setup"),
+        PayloadOp("handshake", "tls_handshake",
+                  ("entry", "loader", "comm"), phase="setup"),
+        PayloadOp("send", "http_send", ("entry", "comm", "beacon"),
+                  weight=4.0),
+        PayloadOp("recv", "http_recv", ("entry", "comm", "beacon"),
+                  weight=4.0),
+        PayloadOp("sleep", "sleep", ("entry", "beacon"), weight=2.0),
+        PayloadOp("read_file", "file_read", ("entry", "beacon", "harvest"),
+                  weight=1.5),
+        PayloadOp("send", "http_send", ("entry", "harvest", "comm"),
+                  weight=1.0),
+        PayloadOp("set_value", "reg_set", ("entry", "persist"),
+                  weight=0.5),
+    ),
+)
+
+#: ``Pwddlg``: pops a fake credential dialog inside the host app, reads
+#: keystrokes, stores and exfiltrates what it catches (Table I's
+#: codeinject rows).
+CODEINJECT = PayloadSpec(
+    name="codeinject",
+    roles=("entry", "dlg_show", "cred_read", "cred_store", "exfil"),
+    ops=(
+        PayloadOp("show_dialog", "ui_dialog",
+                  ("entry", "dlg_show"), phase="setup"),
+        PayloadOp("get_message", "ui_get_message",
+                  ("entry", "dlg_show"), weight=4.0),
+        PayloadOp("peek_message", "ui_peek_message",
+                  ("entry", "dlg_show", "cred_read"), weight=3.0),
+        PayloadOp("write_file", "file_write",
+                  ("entry", "cred_read", "cred_store"), weight=1.0),
+        PayloadOp("query_value", "reg_query",
+                  ("entry", "cred_read"), weight=0.5),
+        PayloadOp("send", "tcp_send", ("entry", "cred_store", "exfil"),
+                  weight=1.0),
+        PayloadOp("sleep", "sleep", ("entry", "dlg_show"), weight=1.0),
+    ),
+)
+
+PAYLOADS: Mapping[str, PayloadSpec] = {
+    spec.name: spec for spec in (REVERSE_TCP, REVERSE_HTTPS, CODEINJECT)
+}

@@ -1,0 +1,73 @@
+"""The Table-I dataset catalog: 21 named (app, payload, delivery) triples.
+
+Names match EXPERIMENTS.md's Table-I rows and the golden capture
+directory prefixes exactly: ``<app>_<payload>`` for offline trojaned
+binaries, ``<app>_<payload>_online`` for remote injection.  Chrome has
+no codeinject or online rows and codeinject ships only offline — the
+same coverage the paper evaluates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.apps import APPS
+from repro.attacks.metasploit import DELIVERY_METHODS
+from repro.attacks.payloads import PAYLOADS
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One benign/mixed/malicious log triple."""
+
+    name: str
+    app: str
+    payload: str
+    method: str
+
+    def __post_init__(self):
+        if self.app not in APPS:
+            raise ValueError(f"dataset {self.name!r}: unknown app {self.app!r}")
+        if self.payload not in PAYLOADS:
+            raise ValueError(
+                f"dataset {self.name!r}: unknown payload {self.payload!r}"
+            )
+        if self.method not in DELIVERY_METHODS:
+            raise ValueError(
+                f"dataset {self.name!r}: unknown method {self.method!r}"
+            )
+
+
+def _build_catalog() -> Mapping[str, DatasetSpec]:
+    specs = []
+    for app in ("winscp", "chrome", "notepad++", "putty", "vim"):
+        for payload in ("reverse_tcp", "reverse_https"):
+            specs.append(
+                DatasetSpec(f"{app}_{payload}", app, payload, "offline")
+            )
+    for app in ("vim", "notepad++", "putty"):
+        specs.append(
+            DatasetSpec(f"{app}_codeinject", app, "codeinject", "offline")
+        )
+    for app in ("putty", "notepad++", "vim", "winscp"):
+        for payload in ("reverse_tcp", "reverse_https"):
+            specs.append(
+                DatasetSpec(
+                    f"{app}_{payload}_online", app, payload, "online"
+                )
+            )
+    return {spec.name: spec for spec in specs}
+
+
+#: All 21 Table-I datasets, in table order.
+CATALOG: Mapping[str, DatasetSpec] = _build_catalog()
+
+OFFLINE_DATASETS = tuple(
+    name for name, spec in CATALOG.items() if spec.method == "offline"
+)
+ONLINE_DATASETS = tuple(
+    name for name, spec in CATALOG.items() if spec.method == "online"
+)
+
+assert len(CATALOG) == 21, "Table I has 21 datasets"

@@ -1,0 +1,327 @@
+"""Deterministic scenario generation: catalog specs → log triples.
+
+For each :class:`~repro.datasets.catalog.DatasetSpec` the generator
+produces the paper's experimental unit (DESIGN.md §13):
+
+* ``benign.log`` — a clean single-app trace (training first half,
+  held-out test second half);
+* ``mixed.log`` — the same app trojaned/injected with payload **build
+  A**, attack bursts interleaved into benign traffic at a low rate
+  (the "user keeps working while the implant beacons" picture);
+* ``malicious.log`` — payload **build B** (a fresh polymorphic
+  rebuild: new symbols, new addresses) at high density — the
+  camouflaged attack the detector must flag despite never having seen
+  this build's app-space signatures;
+* ``labels.json`` — exact per-event ground truth: every attack eid of
+  every log, plus the build identifiers and generation parameters.
+
+Determinism contract
+--------------------
+Byte-identical output for a fixed ``(name, seed)`` across interpreter
+processes and platforms:
+
+* every random draw flows from ``random.Random(<string>)`` instances
+  seeded with role-qualified strings (string seeding hashes via
+  SHA-512 inside CPython, independent of ``PYTHONHASHSEED``);
+* only platform-stable generator methods are used (``random``,
+  ``randrange``, ``randint``, ``choice``, ``choices``, ``sample``);
+* builtin ``hash()`` is never used (the bug that sank
+  ``benchmarks/synth.py``);
+* files are written via ``write_bytes`` with ``\\n`` separators, so no
+  platform newline translation applies.
+
+``tests/test_datasets.py`` enforces the contract by generating the
+same dataset in two fresh subprocess interpreters with different
+``PYTHONHASHSEED`` values and comparing bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.apps import APPS, run_workload
+from repro.apps.base import AppSpec, Operation
+from repro.apps.workloads import emit_op
+from repro.attacks.metasploit import deliver, emit_attack, msfvenom
+from repro.datasets.catalog import CATALOG, DatasetSpec
+from repro.etw.events import EventRecord
+from repro.etw.parser import serialize_events
+from repro.winsys.process import EventTracer, WindowsMachine
+
+#: labels.json schema identifier.
+LABELS_SCHEMA = "leaps-dataset/v1"
+
+#: Attack-event fraction of the mixed (training) log.
+MIXED_ATTACK_RATE = 0.3
+#: Attack-event fraction of the malicious (scan) log.
+MALICIOUS_ATTACK_RATE = 0.8
+#: Attack events arrive in sustained bursts of this size range (an
+#: interactive beacon session, not single stray events).  Long bursts
+#: matter twice over: scan windows inside one are payload-dense, and
+#: the benign gaps *between* them are long enough that the mixed log
+#: is full of pure-benign windows carrying the malicious label — the
+#: mislabeled noise whose weight Algorithm 2 removes and whose drag on
+#: the plain SVM the paper's Figure 5 illustrates.
+BURST_EVENTS = (16, 32)
+
+#: Default log sizes (events), matching the golden captures' scale.
+DEFAULT_TRAIN_EVENTS = 4000
+DEFAULT_SCAN_EVENTS = 2000
+
+LOG_NAMES = ("benign.log", "mixed.log", "malicious.log")
+
+
+@dataclass(frozen=True)
+class GeneratedLog:
+    """One written log plus its exact ground truth."""
+
+    path: Path
+    n_events: int
+    attack_eids: Tuple[int, ...]
+    build_id: str = ""
+
+
+@dataclass(frozen=True)
+class GeneratedDataset:
+    spec: DatasetSpec
+    seed: int
+    root: Path
+    logs: Mapping[str, GeneratedLog]
+
+    @property
+    def labels_path(self) -> Path:
+        return self.root / "labels.json"
+
+    def log_paths(self) -> Dict[str, Path]:
+        return {name: log.path for name, log in self.logs.items()}
+
+
+class ScenarioGenerator:
+    """Deterministic generator for one dataset's scenario.
+
+    One instance owns one simulated machine (so app and system layout
+    are shared by all three logs — the benign half of a trojaned trace
+    must match the clean trace symbol-for-symbol) and derives every
+    RNG from role-qualified strings under ``(dataset, seed)``.
+    """
+
+    def __init__(self, spec: DatasetSpec, seed: int | str):
+        self.spec = spec
+        self.seed = seed
+        self.app: AppSpec = APPS[spec.app]
+        self.machine = WindowsMachine(self._tag("machine"))
+
+    def _tag(self, *parts: str) -> str:
+        return ":".join(
+            ("leaps-scenario", self.spec.name, f"s{self.seed}") + parts
+        )
+
+    def _rng(self, *parts: str) -> random.Random:
+        return random.Random(self._tag(*parts))
+
+    # -- tracing -------------------------------------------------------
+    def trace_benign(self, n_events: int) -> List[EventRecord]:
+        process = self.machine.spawn(
+            self.app.exe, self.app.functions, image_size=self.app.image_size
+        )
+        tracer = EventTracer(process, self._rng("benign", "clock"))
+        return run_workload(
+            tracer, self.app, n_events, self._rng("benign", "workload")
+        )
+
+    def trace_session(
+        self, log: str, n_events: int, attack_rate: float, build_id: str
+    ) -> Tuple[List[EventRecord], List[int]]:
+        """A trojaned/injected session: benign workload with attack
+        bursts at ``attack_rate``, payload ``build_id``.
+
+        Returns the events and the eids of the attack events — every
+        attack walk carries at least one payload frame by construction
+        (payload ops always descend through payload symbols).
+        """
+        process = self.machine.spawn(
+            self.app.exe, self.app.functions, image_size=self.app.image_size
+        )
+        build = msfvenom(self.spec.payload, self._tag("payload"), build_id)
+        instance = deliver(process, self.app, build, self.spec.method)
+        tracer = EventTracer(process, self._rng(log, "clock"))
+        benign_rng = self._rng(log, "workload")
+        attack_rng = self._rng(log, "attack")
+
+        n_attack = int(round(n_events * attack_rate))
+        startup = self.app.ops_in_phase("startup")
+        shutdown = self.app.ops_in_phase("shutdown")
+        steady = self.app.ops_in_phase("steady")
+        weights = [op.weight for op in steady]
+        n_steady = n_events - n_attack - len(startup) - len(shutdown)
+        if n_steady < 0:
+            raise ValueError(
+                f"{self.spec.name}: {n_events} events cannot hold "
+                f"{n_attack} attack events plus the app's scripted phases"
+            )
+
+        bursts = _burst_sizes(n_attack, attack_rng)
+        # Bursts land between steady-state benign events only: the
+        # payload activates after app startup and stops before exit.
+        positions = sorted(
+            attack_rng.sample(range(n_steady + 1), len(bursts))
+        )
+
+        benign_plan: List[Operation] = list(startup)
+        benign_plan.extend(
+            benign_rng.choices(steady, weights=weights, k=n_steady)
+        )
+        benign_plan.extend(shutdown)
+
+        attack_stream = _attack_stream(tracer, instance, attack_rng)
+        events: List[EventRecord] = []
+        attack_eids: List[int] = []
+        burst_index = 0
+        for slot, op in enumerate(benign_plan):
+            steady_slot = slot - len(startup)
+            while (
+                burst_index < len(bursts)
+                and 0 <= steady_slot == positions[burst_index]
+            ):
+                for _ in range(bursts[burst_index]):
+                    event = next(attack_stream)
+                    attack_eids.append(event.eid)
+                    events.append(event)
+                burst_index += 1
+            events.append(emit_op(tracer, self.app, op, benign_rng))
+        while burst_index < len(bursts):  # bursts at the final position
+            for _ in range(bursts[burst_index]):
+                event = next(attack_stream)
+                attack_eids.append(event.eid)
+                events.append(event)
+            burst_index += 1
+        return events, attack_eids
+
+
+def _burst_sizes(n_attack: int, rng: random.Random) -> List[int]:
+    sizes: List[int] = []
+    remaining = n_attack
+    while remaining > 0:
+        size = min(remaining, rng.randint(*BURST_EVENTS))
+        sizes.append(size)
+        remaining -= size
+    return sizes
+
+
+def _attack_stream(tracer, instance, rng):
+    """Endless attack events: setup ops once, then weighted beacon
+    traffic.  Emission is lazy — each ``next()`` emits exactly one
+    event, so attack eids/timestamps interleave with the benign stream
+    in true arrival order."""
+    for op in instance.build.spec.setup_ops():
+        yield emit_attack(tracer, instance, op)
+    ops = instance.build.spec.beacon_ops()
+    weights = [op.weight for op in ops]
+    while True:
+        op = rng.choices(ops, weights=weights, k=1)[0]
+        yield emit_attack(tracer, instance, op)
+
+
+def _write_log(path: Path, events: Sequence[EventRecord]) -> None:
+    lines = serialize_events(events)
+    path.write_bytes(("\n".join(lines) + "\n").encode("utf-8"))
+
+
+def generate_dataset(
+    name: str,
+    dst: Path,
+    seed: int = 0,
+    *,
+    train_events: int = DEFAULT_TRAIN_EVENTS,
+    scan_events: int = DEFAULT_SCAN_EVENTS,
+) -> GeneratedDataset:
+    """Generate one catalog dataset into ``dst`` (created if needed).
+
+    Writes ``benign.log`` / ``mixed.log`` / ``malicious.log`` and
+    ``labels.json``; returns paths plus exact ground truth.
+    """
+    spec = CATALOG[name]
+    dst = Path(dst)
+    dst.mkdir(parents=True, exist_ok=True)
+    generator = ScenarioGenerator(spec, seed)
+
+    benign_events = generator.trace_benign(train_events)
+    mixed_events, mixed_eids = generator.trace_session(
+        "mixed", train_events, MIXED_ATTACK_RATE, "A"
+    )
+    malicious_events, malicious_eids = generator.trace_session(
+        "malicious", scan_events, MALICIOUS_ATTACK_RATE, "B"
+    )
+
+    logs = {
+        "benign.log": GeneratedLog(
+            dst / "benign.log", len(benign_events), ()
+        ),
+        "mixed.log": GeneratedLog(
+            dst / "mixed.log", len(mixed_events), tuple(mixed_eids), "A"
+        ),
+        "malicious.log": GeneratedLog(
+            dst / "malicious.log",
+            len(malicious_events),
+            tuple(malicious_eids),
+            "B",
+        ),
+    }
+    _write_log(logs["benign.log"].path, benign_events)
+    _write_log(logs["mixed.log"].path, mixed_events)
+    _write_log(logs["malicious.log"].path, malicious_events)
+
+    labels = {
+        "schema": LABELS_SCHEMA,
+        "dataset": spec.name,
+        "app": spec.app,
+        "payload": spec.payload,
+        "method": spec.method,
+        "seed": seed,
+        "params": {
+            "train_events": train_events,
+            "scan_events": scan_events,
+            "mixed_attack_rate": MIXED_ATTACK_RATE,
+            "malicious_attack_rate": MALICIOUS_ATTACK_RATE,
+        },
+        "logs": {
+            log_name: {
+                "events": log.n_events,
+                "build": log.build_id,
+                "attack_eids": list(log.attack_eids),
+            }
+            for log_name, log in logs.items()
+        },
+    }
+    (dst / "labels.json").write_bytes(
+        (json.dumps(labels, indent=2, sort_keys=True) + "\n").encode("utf-8")
+    )
+    return GeneratedDataset(spec=spec, seed=seed, root=dst, logs=logs)
+
+
+def generate_catalog(
+    root: Path,
+    seed: int = 0,
+    *,
+    names: Sequence[str] = (),
+    train_events: int = DEFAULT_TRAIN_EVENTS,
+    scan_events: int = DEFAULT_SCAN_EVENTS,
+) -> Dict[str, GeneratedDataset]:
+    """Generate named datasets (default: all 21) under
+    ``root/<name>-s<seed>/``."""
+    root = Path(root)
+    selected = list(names) if names else list(CATALOG)
+    results = {}
+    for name in selected:
+        results[name] = generate_dataset(
+            name,
+            root / f"{name}-s{seed}",
+            seed,
+            train_events=train_events,
+            scan_events=scan_events,
+        )
+    return results

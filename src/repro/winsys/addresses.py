@@ -1,0 +1,147 @@
+"""Address-space layout of a simulated Windows process.
+
+The layout mirrors the 32-bit Windows convention the paper's traces
+come from: the application image low (``0x00400000``), dynamically
+allocated payload regions in the heap range, user-space system DLLs
+high (``0x6B000000``–``0x7FFE0000``), and kernel images above
+``0xF0000000``.  The detector never dereferences an address — only the
+*partition* (app space vs system space, via module names) and the
+per-build randomization of app-space addresses matter — but keeping
+the regions disjoint and realistically placed makes generated logs
+plausible inputs for any address-based tooling layered on later.
+
+All placement randomness comes from the caller's ``random.Random``;
+allocation order is deterministic, so a fixed seed reproduces the
+exact layout in any interpreter (no builtin ``hash()`` anywhere).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+#: Conventional base of the main executable image.
+APP_IMAGE_BASE = 0x00400000
+#: Heap / ``VirtualAlloc`` range payload injections land in.
+ALLOC_RANGE = (0x02000000, 0x10000000)
+#: User-space system DLL range.
+DLL_RANGE = (0x6B000000, 0x7FFE0000)
+#: Kernel image range (session space).
+KERNEL_RANGE = (0xF0000000, 0xFFC00000)
+
+#: Region granularity: Windows maps images at 64 KiB boundaries.
+ALLOCATION_GRANULARITY = 0x10000
+
+
+@dataclass(frozen=True)
+class Region:
+    """One mapped region: ``[base, base + size)``."""
+
+    name: str
+    base: int
+    size: int
+    kind: str  # "app" | "alloc" | "dll" | "kernel"
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.end
+
+
+class AddressSpaceError(ValueError):
+    """Overlapping mappings or an exhausted range."""
+
+
+def _align(value: int) -> int:
+    return (value + ALLOCATION_GRANULARITY - 1) // ALLOCATION_GRANULARITY * (
+        ALLOCATION_GRANULARITY
+    )
+
+
+class AddressSpace:
+    """Deterministic region allocator for one simulated process.
+
+    ``map_app_image`` places the main executable at the conventional
+    base; ``map_library`` / ``map_kernel`` pack system images into
+    their ranges with small randomized gaps (stable for a fixed RNG);
+    ``map_alloc`` picks a random free base in the heap range — the
+    per-build address randomization that polymorphic payloads exploit.
+    """
+
+    def __init__(self):
+        self._regions: List[Region] = []
+        self._by_name: Dict[str, Region] = {}
+        self._next_dll = DLL_RANGE[0]
+        self._next_kernel = KERNEL_RANGE[0]
+
+    # -- queries -------------------------------------------------------
+    @property
+    def regions(self) -> List[Region]:
+        return list(self._regions)
+
+    def region(self, name: str) -> Region:
+        return self._by_name[name]
+
+    def region_of(self, address: int) -> Optional[Region]:
+        for region in self._regions:
+            if region.contains(address):
+                return region
+        return None
+
+    def _add(self, region: Region) -> Region:
+        for existing in self._regions:
+            if region.base < existing.end and existing.base < region.end:
+                raise AddressSpaceError(
+                    f"region {region.name!r} [{region.base:#x}, {region.end:#x}) "
+                    f"overlaps {existing.name!r} "
+                    f"[{existing.base:#x}, {existing.end:#x})"
+                )
+        if region.name in self._by_name:
+            raise AddressSpaceError(f"region {region.name!r} already mapped")
+        self._regions.append(region)
+        self._by_name[region.name] = region
+        return region
+
+    # -- mapping -------------------------------------------------------
+    def map_app_image(self, name: str, size: int) -> Region:
+        return self._add(Region(name, APP_IMAGE_BASE, _align(size), "app"))
+
+    def map_library(self, name: str, size: int, rng: random.Random) -> Region:
+        size = _align(size)
+        # Pack upward with a 0–3 granule randomized gap: realistic ASLR
+        # flavour, deterministic for a fixed rng.
+        base = self._next_dll + rng.randrange(0, 4) * ALLOCATION_GRANULARITY
+        if base + size > DLL_RANGE[1]:
+            raise AddressSpaceError(f"DLL range exhausted mapping {name!r}")
+        self._next_dll = base + size
+        return self._add(Region(name, base, size, "dll"))
+
+    def map_kernel(self, name: str, size: int, rng: random.Random) -> Region:
+        size = _align(size)
+        base = self._next_kernel + rng.randrange(0, 4) * ALLOCATION_GRANULARITY
+        if base + size > KERNEL_RANGE[1]:
+            raise AddressSpaceError(f"kernel range exhausted mapping {name!r}")
+        self._next_kernel = base + size
+        return self._add(Region(name, base, size, "kernel"))
+
+    def map_alloc(self, name: str, size: int, rng: random.Random) -> Region:
+        """A ``VirtualAlloc``-style region at a random heap base; retries
+        deterministically (in rng order) until it finds a free slot."""
+        size = _align(size)
+        granules = (ALLOC_RANGE[1] - ALLOC_RANGE[0] - size) // (
+            ALLOCATION_GRANULARITY
+        )
+        for _ in range(64):
+            base = ALLOC_RANGE[0] + rng.randrange(granules) * (
+                ALLOCATION_GRANULARITY
+            )
+            candidate = Region(name, base, size, "alloc")
+            if not any(
+                candidate.base < r.end and r.base < candidate.end
+                for r in self._regions
+            ):
+                return self._add(candidate)
+        raise AddressSpaceError(f"no free alloc slot for {name!r}")

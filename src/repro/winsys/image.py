@@ -1,0 +1,90 @@
+"""Binary images: a module name, a mapped region, and function symbols.
+
+A :class:`BinaryImage` is the unit the stack walker resolves frames
+against: every ``(module, function)`` node in a generated walk maps to
+a concrete address inside its image's region.  Function offsets are
+assigned from the caller's ``random.Random`` (16-byte aligned, unique
+within the image), so re-randomizing a payload build is just building
+the image again with a different RNG — the exact mechanism the
+shikata-style encoder uses to defeat signature CFG matching.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Tuple
+
+from repro.etw.events import FrameNode
+from repro.winsys.addresses import Region
+
+#: Function entry alignment inside an image.
+FUNCTION_ALIGN = 16
+
+
+class SymbolError(KeyError):
+    """Unknown function, or an image too small for its symbol count."""
+
+
+class BinaryImage:
+    """One mapped module with a deterministic symbol table."""
+
+    def __init__(self, name: str, region: Region):
+        self.name = name
+        self.region = region
+        self._offsets: Dict[str, int] = {}
+
+    # -- symbols -------------------------------------------------------
+    @property
+    def functions(self) -> List[str]:
+        """Function names in allocation order."""
+        return list(self._offsets)
+
+    def add_functions(
+        self, names: Iterable[str], rng: random.Random
+    ) -> None:
+        """Assign each name a distinct random aligned offset.
+
+        Offsets are sampled without replacement so two functions never
+        collide; ordering and values are fixed by the rng state.
+        """
+        names = list(names)
+        slots = self.region.size // FUNCTION_ALIGN
+        if len(self._offsets) + len(names) > slots:
+            raise SymbolError(
+                f"image {self.name!r} ({self.region.size:#x} bytes) cannot "
+                f"hold {len(self._offsets) + len(names)} functions"
+            )
+        taken = set(self._offsets.values())
+        for name in names:
+            if name in self._offsets:
+                raise SymbolError(
+                    f"function {name!r} already defined in {self.name!r}"
+                )
+            while True:
+                offset = rng.randrange(slots) * FUNCTION_ALIGN
+                if offset not in taken:
+                    break
+            taken.add(offset)
+            self._offsets[name] = offset
+
+    def address_of(self, function: str) -> int:
+        try:
+            return self.region.base + self._offsets[function]
+        except KeyError:
+            raise SymbolError(
+                f"no function {function!r} in image {self.name!r}"
+            ) from None
+
+    def __contains__(self, function: str) -> bool:
+        return function in self._offsets
+
+    def nodes(self) -> List[FrameNode]:
+        """Every ``(module, function)`` node this image can contribute."""
+        return [(self.name, function) for function in self._offsets]
+
+    def symbol_table(self) -> List[Tuple[str, int]]:
+        """``(function, address)`` pairs in allocation order."""
+        return [
+            (function, self.region.base + offset)
+            for function, offset in self._offsets.items()
+        ]

@@ -1,0 +1,114 @@
+"""System library and kernel-module catalogs.
+
+The user-space catalog lists the Windows DLL exports the simulated
+system call chains pass through; the kernel catalog lists the driver /
+kernel routines that raise the events.  Module names follow the
+partitioning rule in :mod:`repro.etw.stack_partition` — every entry
+here ends in ``.dll`` / ``.sys`` or is ``ntoskrnl.exe``, so all catalog
+frames land on the *system* side of the split, and anything else
+(application executables, payload stubs, ``<unknown>`` injected code)
+lands on the app side.
+
+Catalog contents are class-level constants: the *set* of system
+symbols is part of the simulated OS, not of any scenario's random
+state.  Only the image placement (bases, per-image function offsets)
+is randomized, by :func:`build_system_images`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Mapping, Tuple
+
+from repro.winsys.addresses import AddressSpace
+from repro.winsys.image import BinaryImage
+
+#: User-space system DLLs → exported functions the scenarios call.
+LIBRARY_CATALOG: Mapping[str, Tuple[str, ...]] = {
+    "ntdll.dll": (
+        "NtCreateFile", "NtReadFile", "NtWriteFile", "NtQueryInformationFile",
+        "NtDeviceIoControlFile", "NtOpenKey", "NtSetValueKey", "NtQueryValueKey",
+        "NtCreateUserProcess", "NtCreateThreadEx", "NtAllocateVirtualMemory",
+        "NtDelayExecution", "LdrLoadDll",
+    ),
+    "kernel32.dll": (
+        "CreateFileW", "ReadFile", "WriteFile", "GetFileAttributesW",
+        "CreateProcessW", "CreateThread", "VirtualAlloc", "LoadLibraryW",
+        "Sleep", "DeviceIoControl",
+    ),
+    "advapi32.dll": (
+        "RegOpenKeyExW", "RegSetValueExW", "RegQueryValueExW", "RegCloseKey",
+        "CryptAcquireContextW",
+    ),
+    "user32.dll": (
+        "GetMessageW", "DispatchMessageW", "PeekMessageW", "DialogBoxParamW",
+        "SendMessageW", "BeginPaint", "EndPaint",
+    ),
+    "gdi32.dll": ("TextOutW", "BitBlt", "SelectObject"),
+    "comctl32.dll": ("PropertySheetW", "ImageList_Draw"),
+    "ws2_32.dll": (
+        "socket", "connect", "send", "recv", "select", "getaddrinfo",
+        "closesocket", "WSAStartup",
+    ),
+    "mswsock.dll": ("WSPSend", "WSPRecv", "WSPConnect"),
+    "wininet.dll": (
+        "InternetOpenW", "InternetConnectW", "HttpOpenRequestW",
+        "HttpSendRequestW", "InternetReadFile", "InternetCloseHandle",
+    ),
+    "winhttp.dll": ("WinHttpOpen", "WinHttpConnect", "WinHttpSendRequest"),
+    "crypt32.dll": (
+        "CertOpenStore", "CertVerifyCertificateChainPolicy", "CryptEncrypt",
+        "CryptDecrypt",
+    ),
+    "secur32.dll": ("InitializeSecurityContextW", "EncryptMessage",
+                    "DecryptMessage"),
+    "dnsapi.dll": ("DnsQuery_W",),
+}
+
+#: Kernel images → routines that raise the traced events.
+KERNEL_CATALOG: Mapping[str, Tuple[str, ...]] = {
+    "ntoskrnl.exe": (
+        "NtCreateFile", "NtReadFile", "NtWriteFile", "NtQueryInformationFile",
+        "NtDeviceIoControlFile", "NtOpenKey", "NtSetValueKey", "NtQueryValueKey",
+        "NtCreateUserProcess", "NtCreateThreadEx", "NtAllocateVirtualMemory",
+        "NtDelayExecution", "IopXxxControlFile", "CmSetValueKey",
+        "PspInsertProcess", "MmMapViewOfSection",
+    ),
+    "win32k.sys": (
+        "NtUserGetMessage", "NtUserPeekMessage", "NtUserDispatchMessage",
+        "NtUserCreateWindowEx", "NtGdiBitBlt", "NtGdiTextOut",
+    ),
+    "tcpip.sys": (
+        "TcpCreateAndConnectTcbComplete", "TcpSendData", "TcpReceive",
+        "UdpSendMessages", "TcpConnect",
+    ),
+    "afd.sys": ("AfdConnect", "AfdSend", "AfdReceive", "AfdSelect"),
+    "http.sys": ("UlSendHttpResponse", "UlReceiveData"),
+    "ntfs.sys": ("NtfsCommonRead", "NtfsCommonWrite", "NtfsCommonCreate",
+                 "NtfsQueryInformation"),
+    "fltmgr.sys": ("FltpDispatch", "FltpPassThrough"),
+    "ndis.sys": ("NdisSendNetBufferLists", "NdisMIndicateReceive"),
+}
+
+#: Nominal image sizes (bytes) — only need to be big enough for the
+#: symbol counts; one default for DLLs, one for kernel images.
+DLL_IMAGE_SIZE = 0x80000
+KERNEL_IMAGE_SIZE = 0x100000
+
+
+def build_system_images(
+    space: AddressSpace, rng: random.Random
+) -> Dict[str, BinaryImage]:
+    """Map every catalog module into ``space`` and populate its symbol
+    table — iteration order is the catalogs' literal order, so a fixed
+    rng yields one exact layout."""
+    images: Dict[str, BinaryImage] = {}
+    for name, functions in LIBRARY_CATALOG.items():
+        image = BinaryImage(name, space.map_library(name, DLL_IMAGE_SIZE, rng))
+        image.add_functions(functions, rng)
+        images[name] = image
+    for name, functions in KERNEL_CATALOG.items():
+        image = BinaryImage(name, space.map_kernel(name, KERNEL_IMAGE_SIZE, rng))
+        image.add_functions(functions, rng)
+        images[name] = image
+    return images

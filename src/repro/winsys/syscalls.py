@@ -1,0 +1,198 @@
+"""Syscall / event taxonomy: what an event *is* and how its stack ends.
+
+Every traced event belongs to one :class:`SyscallSpec`, which fixes
+
+* the behaviour-level identity fields ``category`` and ``opcode`` (the
+  event ``name`` is supplied per operation by the app/payload model —
+  ``read_config`` and ``read_document`` are different behaviours over
+  the same syscall), and
+* the *system half* of the stack walk: the user-space DLL chain the
+  call descends through and the kernel chain that raises the event.
+
+The chains are fixed per spec — shared OS code is exactly the part of
+a walk that stays stable across applications and payload rebuilds,
+which is why the detector's system-signature feature dimension carries
+cross-build signal (DESIGN.md §1).  Every ``(module, function)`` node
+must exist in the :mod:`repro.winsys.libraries` catalogs;
+:func:`validate_taxonomy` enforces it and the test suite runs it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Tuple
+
+from repro.etw.events import FrameNode
+from repro.winsys.libraries import KERNEL_CATALOG, LIBRARY_CATALOG
+
+
+@dataclass(frozen=True)
+class SyscallSpec:
+    """One event type's fixed half: identity fields + system chains."""
+
+    key: str
+    category: str
+    opcode: int
+    #: user-space system DLL frames, outermost first
+    user_chain: Tuple[FrameNode, ...]
+    #: kernel frames, outermost first; the last frame raised the event
+    kernel_chain: Tuple[FrameNode, ...]
+
+    @property
+    def system_chain(self) -> Tuple[FrameNode, ...]:
+        return self.user_chain + self.kernel_chain
+
+
+def _spec(key, category, opcode, user_chain, kernel_chain):
+    return SyscallSpec(
+        key=key,
+        category=category,
+        opcode=opcode,
+        user_chain=tuple(tuple(node) for node in user_chain),
+        kernel_chain=tuple(tuple(node) for node in kernel_chain),
+    )
+
+
+SYSCALLS: Mapping[str, SyscallSpec] = {
+    spec.key: spec
+    for spec in (
+        # -- file I/O --------------------------------------------------
+        _spec("file_create", "FILE_IO_CREATE", 1,
+              [("kernel32.dll", "CreateFileW"), ("ntdll.dll", "NtCreateFile")],
+              [("ntoskrnl.exe", "NtCreateFile"), ("fltmgr.sys", "FltpDispatch"),
+               ("ntfs.sys", "NtfsCommonCreate")]),
+        _spec("file_read", "FILE_IO_READ", 3,
+              [("kernel32.dll", "ReadFile"), ("ntdll.dll", "NtReadFile")],
+              [("ntoskrnl.exe", "NtReadFile"), ("fltmgr.sys", "FltpPassThrough"),
+               ("ntfs.sys", "NtfsCommonRead")]),
+        _spec("file_write", "FILE_IO_WRITE", 4,
+              [("kernel32.dll", "WriteFile"), ("ntdll.dll", "NtWriteFile")],
+              [("ntoskrnl.exe", "NtWriteFile"), ("fltmgr.sys", "FltpPassThrough"),
+               ("ntfs.sys", "NtfsCommonWrite")]),
+        _spec("file_query", "FILE_IO_QUERY", 5,
+              [("kernel32.dll", "GetFileAttributesW"),
+               ("ntdll.dll", "NtQueryInformationFile")],
+              [("ntoskrnl.exe", "NtQueryInformationFile"),
+               ("ntfs.sys", "NtfsQueryInformation")]),
+        # -- UI / GDI --------------------------------------------------
+        _spec("ui_get_message", "UI_MESSAGE", 21,
+              [("user32.dll", "GetMessageW")],
+              [("win32k.sys", "NtUserGetMessage")]),
+        _spec("ui_peek_message", "UI_MESSAGE", 22,
+              [("user32.dll", "PeekMessageW")],
+              [("win32k.sys", "NtUserPeekMessage")]),
+        _spec("ui_dispatch", "UI_MESSAGE", 23,
+              [("user32.dll", "DispatchMessageW")],
+              [("win32k.sys", "NtUserDispatchMessage")]),
+        _spec("ui_dialog", "UI_DIALOG", 24,
+              [("user32.dll", "DialogBoxParamW")],
+              [("win32k.sys", "NtUserCreateWindowEx")]),
+        _spec("ui_paint", "UI_PAINT", 25,
+              [("user32.dll", "BeginPaint"), ("gdi32.dll", "TextOutW")],
+              [("win32k.sys", "NtGdiTextOut")]),
+        # -- sockets ---------------------------------------------------
+        _spec("tcp_connect", "TCP_CONNECT", 10,
+              [("ws2_32.dll", "connect"), ("mswsock.dll", "WSPConnect"),
+               ("ntdll.dll", "NtDeviceIoControlFile")],
+              [("ntoskrnl.exe", "NtDeviceIoControlFile"),
+               ("afd.sys", "AfdConnect"), ("tcpip.sys", "TcpConnect")]),
+        _spec("tcp_send", "TCP_SEND", 7,
+              [("ws2_32.dll", "send"), ("mswsock.dll", "WSPSend"),
+               ("ntdll.dll", "NtDeviceIoControlFile")],
+              [("ntoskrnl.exe", "IopXxxControlFile"), ("afd.sys", "AfdSend"),
+               ("tcpip.sys", "TcpSendData")]),
+        _spec("tcp_recv", "TCP_RECV", 8,
+              [("ws2_32.dll", "recv"), ("mswsock.dll", "WSPRecv"),
+               ("ntdll.dll", "NtDeviceIoControlFile")],
+              [("ntoskrnl.exe", "IopXxxControlFile"), ("afd.sys", "AfdReceive"),
+               ("tcpip.sys", "TcpReceive")]),
+        _spec("dns_resolve", "DNS_QUERY", 12,
+              [("ws2_32.dll", "getaddrinfo"), ("dnsapi.dll", "DnsQuery_W"),
+               ("ntdll.dll", "NtDeviceIoControlFile")],
+              [("ntoskrnl.exe", "NtDeviceIoControlFile"), ("afd.sys", "AfdSend"),
+               ("tcpip.sys", "UdpSendMessages")]),
+        # -- HTTP / TLS ------------------------------------------------
+        _spec("http_open", "HTTP_OPEN", 13,
+              [("wininet.dll", "InternetConnectW"), ("ws2_32.dll", "connect"),
+               ("ntdll.dll", "NtDeviceIoControlFile")],
+              [("ntoskrnl.exe", "NtDeviceIoControlFile"),
+               ("afd.sys", "AfdConnect"), ("tcpip.sys", "TcpConnect")]),
+        _spec("http_send", "HTTP_SEND", 14,
+              [("wininet.dll", "HttpSendRequestW"), ("ws2_32.dll", "send"),
+               ("ntdll.dll", "NtDeviceIoControlFile")],
+              [("ntoskrnl.exe", "IopXxxControlFile"), ("afd.sys", "AfdSend"),
+               ("tcpip.sys", "TcpSendData")]),
+        _spec("http_recv", "HTTP_RECV", 15,
+              [("wininet.dll", "InternetReadFile"), ("ws2_32.dll", "recv"),
+               ("ntdll.dll", "NtDeviceIoControlFile")],
+              [("ntoskrnl.exe", "IopXxxControlFile"), ("afd.sys", "AfdReceive"),
+               ("tcpip.sys", "TcpReceive")]),
+        _spec("tls_handshake", "TLS_HANDSHAKE", 16,
+              [("secur32.dll", "InitializeSecurityContextW"),
+               ("crypt32.dll", "CertVerifyCertificateChainPolicy"),
+               ("ws2_32.dll", "send"),
+               ("ntdll.dll", "NtDeviceIoControlFile")],
+              [("ntoskrnl.exe", "IopXxxControlFile"), ("afd.sys", "AfdSend"),
+               ("tcpip.sys", "TcpSendData")]),
+        # -- registry --------------------------------------------------
+        _spec("reg_open", "REGISTRY_OPEN", 30,
+              [("advapi32.dll", "RegOpenKeyExW"), ("ntdll.dll", "NtOpenKey")],
+              [("ntoskrnl.exe", "NtOpenKey")]),
+        _spec("reg_set", "REGISTRY_SET", 31,
+              [("advapi32.dll", "RegSetValueExW"),
+               ("ntdll.dll", "NtSetValueKey")],
+              [("ntoskrnl.exe", "NtSetValueKey"),
+               ("ntoskrnl.exe", "CmSetValueKey")]),
+        _spec("reg_query", "REGISTRY_QUERY", 32,
+              [("advapi32.dll", "RegQueryValueExW"),
+               ("ntdll.dll", "NtQueryValueKey")],
+              [("ntoskrnl.exe", "NtQueryValueKey")]),
+        # -- process / memory ------------------------------------------
+        _spec("proc_create", "PROCESS_CREATE", 40,
+              [("kernel32.dll", "CreateProcessW"),
+               ("ntdll.dll", "NtCreateUserProcess")],
+              [("ntoskrnl.exe", "NtCreateUserProcess"),
+               ("ntoskrnl.exe", "PspInsertProcess")]),
+        _spec("thread_create", "THREAD_CREATE", 41,
+              [("kernel32.dll", "CreateThread"),
+               ("ntdll.dll", "NtCreateThreadEx")],
+              [("ntoskrnl.exe", "NtCreateThreadEx")]),
+        _spec("virtual_alloc", "VM_ALLOC", 42,
+              [("kernel32.dll", "VirtualAlloc"),
+               ("ntdll.dll", "NtAllocateVirtualMemory")],
+              [("ntoskrnl.exe", "NtAllocateVirtualMemory"),
+               ("ntoskrnl.exe", "MmMapViewOfSection")]),
+        _spec("image_load", "IMAGE_LOAD", 43,
+              [("kernel32.dll", "LoadLibraryW"), ("ntdll.dll", "LdrLoadDll")],
+              [("ntoskrnl.exe", "MmMapViewOfSection")]),
+        _spec("sleep", "SLEEP", 50,
+              [("kernel32.dll", "Sleep"), ("ntdll.dll", "NtDelayExecution")],
+              [("ntoskrnl.exe", "NtDelayExecution")]),
+    )
+}
+
+
+def validate_taxonomy() -> None:
+    """Every chain node must exist in the library/kernel catalogs, and
+    ``(category, opcode)`` pairs must be unambiguous across specs."""
+    seen = {}
+    for spec in SYSCALLS.values():
+        for module, function in spec.user_chain:
+            if function not in LIBRARY_CATALOG.get(module, ()):
+                raise ValueError(
+                    f"{spec.key}: user-chain node {module}!{function} is not "
+                    "in LIBRARY_CATALOG"
+                )
+        for module, function in spec.kernel_chain:
+            if function not in KERNEL_CATALOG.get(module, ()):
+                raise ValueError(
+                    f"{spec.key}: kernel-chain node {module}!{function} is "
+                    "not in KERNEL_CATALOG"
+                )
+        identity = (spec.category, spec.opcode)
+        if identity in seen:
+            raise ValueError(
+                f"{spec.key} and {seen[identity]} share (category, opcode) "
+                f"{identity}"
+            )
+        seen[identity] = spec.key

@@ -1,0 +1,159 @@
+"""End-to-end test on a *generated* trojaned-app dataset.
+
+The generated-scenario twin of ``tests/test_e2e_smoke.py``: no golden
+cache required — the dataset is produced by ``repro.datasets`` at
+collection scale (ISSUE 8's acceptance run).  Same protocol: train on
+the benign first half + the build-A mixed log, scan the build-B
+malicious log and the held-out benign half, and require the weighted
+SVM to beat the plain SVM by a wide margin — the mixed log's long
+benign stretches carry the malicious label, and only Algorithm 2's
+benignity weights neutralize them.
+"""
+
+import numpy as np
+import pytest
+
+from repro import LeapsConfig, LeapsDetector
+from repro.datasets import generate_dataset
+from repro.etw.parser import RawLogParser, serialize_events
+from repro.learning.metrics import ConfusionMatrix
+
+pytestmark = pytest.mark.e2e
+
+#: The ISSUE names this scenario for the acceptance run.
+DATASET = "vim_reverse_tcp"
+TRAIN_EVENTS = 1200
+SCAN_EVENTS = 600
+#: Required WSVM-over-SVM accuracy margin (ISSUE 8 acceptance).
+MIN_MARGIN = 0.1
+
+
+def fast_config(weighted):
+    return LeapsConfig(
+        window_events=10,
+        stride=5,
+        weighted=weighted,
+        lam_grid=(1.0, 10.0),
+        sigma2_grid=(30.0,),
+        cv_folds=2,
+        max_train_windows=400,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def logs(tmp_path_factory):
+    root = tmp_path_factory.mktemp("generated-e2e")
+    dataset = generate_dataset(
+        DATASET,
+        root / DATASET,
+        seed=0,
+        train_events=TRAIN_EVENTS,
+        scan_events=SCAN_EVENTS,
+    )
+    paths = dataset.log_paths()
+    benign = paths["benign.log"].read_text().splitlines()
+    events = RawLogParser().parse_lines(benign)
+    half = len(events) // 2
+    return {
+        "benign_train": serialize_events(events[:half]),
+        "benign_test": serialize_events(events[half:]),
+        "mixed": paths["mixed.log"].read_text().splitlines(),
+        "malicious": paths["malicious.log"].read_text().splitlines(),
+    }
+
+
+def train_and_evaluate(weighted, logs):
+    detector = LeapsDetector(fast_config(weighted))
+    report = detector.train_from_logs(logs["benign_train"], logs["mixed"])
+    benign_hits = detector.scan_log(logs["benign_test"])
+    malicious_hits = detector.scan_log(logs["malicious"])
+    y_true = np.concatenate(
+        [np.ones(len(benign_hits)), -np.ones(len(malicious_hits))]
+    )
+    y_pred = np.array(
+        [-1.0 if d.malicious else 1.0 for d in benign_hits + malicious_hits]
+    )
+    return detector, report, ConfusionMatrix.from_labels(y_true, y_pred)
+
+
+@pytest.fixture(scope="module")
+def wsvm(logs):
+    return train_and_evaluate(True, logs)
+
+
+@pytest.fixture(scope="module")
+def plain_svm(logs):
+    return train_and_evaluate(False, logs)
+
+
+class TestTrainingPhase:
+    def test_report_counts(self, wsvm):
+        _, report, _ = wsvm
+        assert report.n_benign_events > 0 and report.n_mixed_events > 0
+        assert 0 < report.n_train_windows <= 400
+
+    def test_mixed_weights_are_informative(self, wsvm):
+        _, report, _ = wsvm
+        assert 0.05 < report.mean_mixed_weight < 0.95
+
+    def test_mixed_cfg_extends_benign_cfg(self, wsvm):
+        detector, _, _ = wsvm
+        assert detector.benign_cfg.node_count > 5
+        assert detector.benign_cfg.edge_count > 5
+        assert detector.mixed_cfg.node_count > detector.benign_cfg.node_count
+
+
+class TestPaperClaim:
+    def test_wsvm_beats_plain_svm_by_the_required_margin(
+        self, wsvm, plain_svm
+    ):
+        _, _, weighted_cm = wsvm
+        _, _, plain_cm = plain_svm
+        assert weighted_cm.accuracy - plain_cm.accuracy >= MIN_MARGIN
+
+    def test_wsvm_absolute_quality(self, wsvm):
+        _, _, cm = wsvm
+        assert cm.accuracy >= 0.9
+        assert cm.tnr >= 0.9  # catches the malicious log
+        assert cm.tpr >= 0.9  # does not flag clean traffic
+
+    def test_plain_svm_overflags_benign(self, wsvm, plain_svm):
+        _, _, weighted_cm = wsvm
+        _, _, plain_cm = plain_svm
+        assert plain_cm.tpr < weighted_cm.tpr
+
+
+class TestScanAPI:
+    def test_detection_metadata(self, wsvm, logs):
+        detector, _, _ = wsvm
+        detections = detector.scan_log(logs["malicious"])
+        assert detections, "malicious log produced no windows"
+        first = detections[0]
+        assert first.end_eid >= first.start_eid
+        flagged, total = detector.alert_summary(detections)
+        assert total == len(detections)
+        assert flagged / total >= 0.9
+
+    def test_deterministic_end_to_end(self, wsvm, logs, tmp_path):
+        """Regenerate the dataset and retrain: identical detections."""
+        regenerated = generate_dataset(
+            DATASET,
+            tmp_path / DATASET,
+            seed=0,
+            train_events=TRAIN_EVENTS,
+            scan_events=SCAN_EVENTS,
+        )
+        paths = regenerated.log_paths()
+        benign = paths["benign.log"].read_text().splitlines()
+        events = RawLogParser().parse_lines(benign)
+        half = len(events) // 2
+        repeat = LeapsDetector(fast_config(True))
+        repeat.train_from_logs(
+            serialize_events(events[:half]),
+            paths["mixed.log"].read_text().splitlines(),
+        )
+        detector, _, _ = wsvm
+        assert repeat.scan_log(
+            paths["malicious.log"].read_text().splitlines()
+        ) == detector.scan_log(logs["malicious"])
