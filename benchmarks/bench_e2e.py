@@ -49,7 +49,12 @@ sys.path.insert(0, str(REPO_ROOT))
 
 from repro.core.config import LeapsConfig
 from repro.core.detector import LeapsDetector
-from repro.etw.capture import convert_log, load_capture
+from repro.etw.capture import (
+    convert_log,
+    load_capture,
+    write_capture,
+    write_capture_naive,
+)
 from repro.etw.fastparse import parse_fast
 from repro.etw.parser import read_log_lines
 
@@ -57,7 +62,7 @@ from repro.datasets.generation import generate_dataset
 
 DATA_DIR = REPO_ROOT / "benchmarks" / ".data"
 
-SCHEMA = "leaps-bench-e2e/v1"
+SCHEMA = "leaps-bench-e2e/v2"
 #: golden datasets with all three logs, as in bench_scan.py
 DEFAULT_DATASETS = (
     "notepad++_reverse_tcp_online",
@@ -65,6 +70,29 @@ DEFAULT_DATASETS = (
     "notepad++_reverse_https",
     "notepad++_codeinject",
 )
+
+
+def _captures_byte_identical(a: Path, b: Path) -> bool:
+    """Member-level byte comparison of two ``.leapscap`` directories
+    (the npz zip container embeds timestamps, so whole-file bytes are
+    not stable; every stored member and the JSON metadata must be)."""
+    import zipfile
+
+    names = sorted(p.name for p in a.iterdir())
+    if names != sorted(p.name for p in b.iterdir()):
+        return False
+    for name in names:
+        if name.endswith(".npz"):
+            with zipfile.ZipFile(a / name) as za, \
+                    zipfile.ZipFile(b / name) as zb:
+                if za.namelist() != zb.namelist():
+                    return False
+                for member in za.namelist():
+                    if za.read(member) != zb.read(member):
+                        return False
+        elif (a / name).read_bytes() != (b / name).read_bytes():
+            return False
+    return True
 
 
 def best_of(repeats: int, fn) -> float:
@@ -124,6 +152,25 @@ def bench_corpus(
             repeats, lambda: load_capture(capture_path).events
         )
 
+        # -- writer: naive loop vs vectorized assembly -----------------
+        # (same parsed events, columns sidecar warm — the convert path)
+        col_events = parse_fast(
+            read_log_lines(text_path), policy="drop", columns=True
+        )
+        naive_dir = Path(scratch) / "naive.leapscap"
+        vec_dir = Path(scratch) / "vec.leapscap"
+        write_naive_s = best_of(
+            repeats, lambda: write_capture_naive(naive_dir, col_events)
+        )
+        write_vec_s = best_of(
+            repeats, lambda: write_capture(vec_dir, col_events)
+        )
+        writer_identical = _captures_byte_identical(naive_dir, vec_dir)
+        if not writer_identical:
+            raise AssertionError(
+                f"{name}: vectorized writer output diverged from naive"
+            )
+
         # -- end to end: raw bytes → detections ------------------------
         text_scan = detector.scan_logs([str(text_path)], policy="drop")
         capture_scan = detector.scan_logs([str(capture_path)], policy="drop")
@@ -152,6 +199,14 @@ def bench_corpus(
         "text_bytes": text_bytes,
         "capture_bytes": capture_bytes,
         "convert_s": convert_s,
+        "writer": {
+            "naive_s": write_naive_s,
+            "vectorized_s": write_vec_s,
+            "naive_events_per_s": len(col_events) / write_naive_s,
+            "vectorized_events_per_s": len(col_events) / write_vec_s,
+            "speedup": write_naive_s / write_vec_s,
+            "byte_identical": writer_identical,
+        },
         "ingest": {
             "text_s": ingest_text_s,
             "capture_s": ingest_capture_s,
@@ -255,19 +310,22 @@ def main(argv=None) -> int:
             print(f"benchmarking {name} ({source}) ...", flush=True)
             result = bench_corpus(name, paths, source, config, repeats)
             ingest, e2e = result["ingest"], result["e2e"]
+            writer = result["writer"]
             print(
                 f"  ingest: {ingest['text_lines_per_s']:,.0f} → "
                 f"{ingest['capture_lines_per_s']:,.0f} l/s "
                 f"({ingest['speedup']:.1f}x)   e2e: "
                 f"{e2e['text_lines_per_s']:,.0f} → "
                 f"{e2e['capture_lines_per_s']:,.0f} l/s "
-                f"({e2e['speedup']:.1f}x)",
+                f"({e2e['speedup']:.1f}x)   writer: "
+                f"{writer['speedup']:.1f}x",
                 flush=True,
             )
             results.append(result)
 
     ingest_speedups = [r["ingest"]["speedup"] for r in results]
     e2e_speedups = [r["e2e"]["speedup"] for r in results]
+    writer_speedups = [r["writer"]["speedup"] for r in results]
     payload = {
         "schema": SCHEMA,
         "created_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -292,6 +350,10 @@ def main(argv=None) -> int:
             "source": results[0]["source"],
             "min_ingest_speedup": min(ingest_speedups),
             "min_e2e_speedup": min(e2e_speedups),
+            "min_writer_speedup": min(writer_speedups),
+            "writer_byte_identical": all(
+                r["writer"]["byte_identical"] for r in results
+            ),
             "geomean_e2e_speedup": float(
                 np.exp(np.mean(np.log(e2e_speedups)))
             ),

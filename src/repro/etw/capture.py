@@ -151,18 +151,16 @@ def _split_vocab(raw: object, name: str) -> List[str]:
     return entries
 
 
-def write_capture(
+def write_capture_naive(
     path: Union[str, os.PathLike],
     events: Sequence[EventRecord],
     *,
     report: Optional[ParseReport] = None,
     source: Optional[dict] = None,
 ) -> Path:
-    """Serialize parsed events to a capture directory ``path``.
-
-    Creates the directory (and parents) if needed; overwrites an
-    existing capture in place.  Returns the capture path.
-    """
+    """The original per-event-loop capture writer, retained as the
+    byte-identity reference for :func:`write_capture` (every array and
+    metadata byte must match; see tests/test_capture.py)."""
     path = Path(os.fspath(path))
 
     vocabs: dict = {name: {} for name in _VOCAB_NAMES}
@@ -269,6 +267,222 @@ def write_capture(
     return path
 
 
+# -- vectorized writer -------------------------------------------------
+
+
+def _int_column_vec(name: str, values: Sequence[int]) -> np.ndarray:
+    # np.array performs the int64 range check itself (OverflowError),
+    # replacing the naive writer's per-value any() scan.
+    try:
+        return np.array(values, dtype=np.int64)
+    except OverflowError:
+        raise CaptureError(f"{name} value out of int64 range") from None
+
+
+def _walk_tables(distinct_walks: Sequence[Tuple[StackFrame, ...]]) -> dict:
+    """Frame table, walk CSR arrays, and module/function vocabularies
+    from the distinct walks in first-appearance order.
+
+    Byte-identical to the naive writer's interleaved traversal: the
+    naive loop only does frame/vocab work when it meets a *new* walk,
+    so its traversal order is exactly "frames of each distinct walk, in
+    walk first-appearance order" — a frame's first appearance in that
+    sequence equals its first appearance in event order (a repeated
+    walk cannot introduce a frame its first occurrence didn't)."""
+    module_table: dict = {}
+    function_table: dict = {}
+    frame_ids: dict = {}
+    frame_index: List[int] = []
+    frame_module_id: List[int] = []
+    frame_function_id: List[int] = []
+    frame_address: List[int] = []
+    walk_frame_ids: List[int] = []
+    walk_offsets: List[int] = [0]
+    for walk in distinct_walks:
+        for frame in walk:
+            frame_id = frame_ids.get(frame)
+            if frame_id is None:
+                frame_id = len(frame_index)
+                frame_ids[frame] = frame_id
+                frame_index.append(frame.index)
+                module = module_table.get(frame.module)
+                if module is None:
+                    module = len(module_table)
+                    module_table[frame.module] = module
+                frame_module_id.append(module)
+                function = function_table.get(frame.function)
+                if function is None:
+                    function = len(function_table)
+                    function_table[frame.function] = function
+                frame_function_id.append(function)
+                frame_address.append(frame.address)
+            walk_frame_ids.append(frame_id)
+        walk_offsets.append(len(walk_frame_ids))
+    return {
+        "frame_index": _int_column_vec("frame_index", frame_index),
+        "frame_module_id": np.array(frame_module_id, dtype=np.int64),
+        "frame_function_id": np.array(frame_function_id, dtype=np.int64),
+        "frame_address": _address_column(frame_address),
+        "walk_frame_ids": np.array(walk_frame_ids, dtype=np.int64),
+        "walk_offsets": np.array(walk_offsets, dtype=np.int64),
+        "module_vocab": list(module_table),
+        "function_vocab": list(function_table),
+    }
+
+
+def _arrays_from_columns(cols) -> "tuple[dict, dict]":
+    """Array assembly from the parser's :class:`EventColumns` sidecar:
+    every per-event quantity is already an id or an int list, so the
+    writer's per-event cost is five ``np.array`` conversions."""
+    walk_arrays = _walk_tables(cols.walks)
+    arrays = {
+        "eid": _int_column_vec("eid", cols.eid),
+        "timestamp": _int_column_vec("timestamp", cols.timestamp),
+        "pid": _int_column_vec("pid", cols.pid),
+        "tid": _int_column_vec("tid", cols.tid),
+        "opcode": _int_column_vec("opcode", cols.opcode),
+        "process_id": np.array(cols.process_id, dtype=np.int64),
+        "category_id": np.array(cols.category_id, dtype=np.int64),
+        "name_id": np.array(cols.name_id, dtype=np.int64),
+        "walk_id": np.array(cols.walk_id, dtype=np.int64),
+        "frame_index": walk_arrays["frame_index"],
+        "frame_module_id": walk_arrays["frame_module_id"],
+        "frame_function_id": walk_arrays["frame_function_id"],
+        "frame_address": walk_arrays["frame_address"],
+        "walk_frame_ids": walk_arrays["walk_frame_ids"],
+        "walk_offsets": walk_arrays["walk_offsets"],
+    }
+    vocabs = {
+        "process": cols.process_vocab,
+        "category": cols.category_vocab,
+        "name": cols.name_vocab,
+        "module": walk_arrays["module_vocab"],
+        "function": walk_arrays["function_vocab"],
+    }
+    counts = {
+        "events": cols.n_events,
+        "frames": len(walk_arrays["frame_index"]),
+        "walks": len(cols.walks),
+    }
+    return arrays, vocabs, counts
+
+
+def _factorize(values: Sequence) -> "tuple[np.ndarray, list]":
+    """(id array, distinct values in first-appearance order) — the bulk
+    equivalent of the naive writer's per-event ``vocab_id``.
+    ``dict.fromkeys`` preserves first-appearance order in one C pass."""
+    table = {value: index for index, value in enumerate(dict.fromkeys(values))}
+    ids = np.fromiter(
+        map(table.__getitem__, values), np.int64, count=len(values)
+    )
+    return ids, list(table)
+
+
+def _arrays_from_events(events: Sequence[EventRecord]) -> "tuple[dict, dict]":
+    """Generic bulk assembly for arbitrary event sequences (no parser
+    sidecar): column extraction by comprehension, vocabularies by bulk
+    first-appearance interning, walk dedup with an identity pre-pass
+    (interned walks collapse by ``id()`` before any tuple is hashed)."""
+    n = len(events)
+    walks = [event.frames for event in events]
+    # identity pre-pass: first-appearance-ordered distinct *objects*
+    uniq = dict(zip(map(id, walks), walks))
+    # equality dedup over the (few) identity-distinct walks; two equal
+    # but distinct tuples must still collapse to one walk id, exactly
+    # as in the naive writer's equality-keyed table
+    walk_table: dict = {}
+    distinct_walks: List[Tuple[StackFrame, ...]] = []
+    idmap: dict = {}
+    for key, walk in uniq.items():
+        index = walk_table.get(walk)
+        if index is None:
+            index = len(distinct_walks)
+            walk_table[walk] = index
+            distinct_walks.append(walk)
+        idmap[key] = index
+    walk_id = np.fromiter(map(idmap.__getitem__, map(id, walks)), np.int64, n)
+    walk_arrays = _walk_tables(distinct_walks)
+    process_id, process_vocab = _factorize([e.process for e in events])
+    category_id, category_vocab = _factorize([e.category for e in events])
+    name_id, name_vocab = _factorize([e.name for e in events])
+    arrays = {
+        "eid": _int_column_vec("eid", [e.eid for e in events]),
+        "timestamp": _int_column_vec("timestamp", [e.timestamp for e in events]),
+        "pid": _int_column_vec("pid", [e.pid for e in events]),
+        "tid": _int_column_vec("tid", [e.tid for e in events]),
+        "opcode": _int_column_vec("opcode", [e.opcode for e in events]),
+        "process_id": process_id,
+        "category_id": category_id,
+        "name_id": name_id,
+        "walk_id": walk_id,
+        "frame_index": walk_arrays["frame_index"],
+        "frame_module_id": walk_arrays["frame_module_id"],
+        "frame_function_id": walk_arrays["frame_function_id"],
+        "frame_address": walk_arrays["frame_address"],
+        "walk_frame_ids": walk_arrays["walk_frame_ids"],
+        "walk_offsets": walk_arrays["walk_offsets"],
+    }
+    vocabs = {
+        "process": process_vocab,
+        "category": category_vocab,
+        "name": name_vocab,
+        "module": walk_arrays["module_vocab"],
+        "function": walk_arrays["function_vocab"],
+    }
+    counts = {
+        "events": n,
+        "frames": len(walk_arrays["frame_index"]),
+        "walks": len(distinct_walks),
+    }
+    return arrays, vocabs, counts
+
+
+def write_capture(
+    path: Union[str, os.PathLike],
+    events: Sequence[EventRecord],
+    *,
+    report: Optional[ParseReport] = None,
+    source: Optional[dict] = None,
+) -> Path:
+    """Serialize parsed events to a capture directory ``path``.
+
+    Creates the directory (and parents) if needed; overwrites an
+    existing capture in place.  Returns the capture path.
+
+    Output is byte-identical to :func:`write_capture_naive` for every
+    input; the difference is speed.  When ``events`` is an
+    :class:`~repro.etw.events.EventLog` carrying the parser's
+    :class:`~repro.etw.events.EventColumns` sidecar
+    (``parse_fast(..., columns=True)``, as :func:`convert_log` uses),
+    array assembly skips per-event attribute access entirely; arbitrary
+    event sequences take the generic bulk path.
+    """
+    path = Path(os.fspath(path))
+    cols = getattr(events, "columns", None)
+    if cols is not None and cols.n_events == len(events):
+        arrays, vocabs, counts = _arrays_from_columns(cols)
+    else:
+        arrays, vocabs, counts = _arrays_from_events(events)
+    for name, strings in vocabs.items():
+        arrays[f"vocab_{name}"] = _join_vocab(name, strings)
+    meta = {
+        "schema": SCHEMA,
+        "counts": {
+            **counts,
+            **{
+                f"vocab_{name}": len(strings)
+                for name, strings in vocabs.items()
+            },
+        },
+        "source": source,
+        "parse_report": None if report is None else report.to_dict(),
+    }
+    path.mkdir(parents=True, exist_ok=True)
+    (path / JSON_NAME).write_text(json.dumps(meta, indent=2) + "\n")
+    np.savez(path / NPZ_NAME, **arrays)
+    return path
+
+
 def convert_log(
     src: Union[str, os.PathLike],
     dst: Optional[Union[str, os.PathLike]] = None,
@@ -296,6 +510,7 @@ def convert_log(
         policy=policy,
         report=report,
         require_complete_tail=require_complete_tail,
+        columns=True,
     )
     return write_capture(
         dst,
@@ -506,3 +721,89 @@ def read_capture(
 def iter_capture(path: Union[str, os.PathLike]) -> Iterator[EventRecord]:
     """``iter_parse``-shaped access: yield the capture's events in order."""
     return iter(load_capture(path).events)
+
+
+# -- command line ------------------------------------------------------
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro.etw.capture`` — convert raw logs and inspect
+    captures from the shell:
+
+    ``convert <log> [<out.leapscap>]``
+        One-time text → columnar conversion (:func:`convert_log`).
+    ``info <capture.leapscap>``
+        Schema, entity counts, provenance, and parse-report summary.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.etw.capture",
+        description="Columnar capture tools: parse once, scan forever.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    convert = commands.add_parser(
+        "convert", help="convert a raw text log to a .leapscap capture"
+    )
+    convert.add_argument("log", help="raw pipe-delimited log file")
+    convert.add_argument(
+        "capture", nargs="?", default=None,
+        help="output capture directory (default: <log>.leapscap)",
+    )
+    convert.add_argument(
+        "--policy", default="drop", choices=("strict", "warn", "drop"),
+        help="parse recovery policy (default: drop)",
+    )
+    info = commands.add_parser(
+        "info", help="print a capture's schema, counts, and provenance"
+    )
+    info.add_argument("capture", help="capture directory (.leapscap)")
+    args = parser.parse_args(argv)
+
+    if args.command == "convert":
+        try:
+            out = convert_log(args.log, args.capture, policy=args.policy)
+        except (OSError, CaptureError) as error:
+            print(f"error: {error}")
+            return 1
+        meta = json.loads((out / JSON_NAME).read_text(encoding="utf-8"))
+        counts = meta["counts"]
+        print(f"wrote {out}")
+        print(
+            f"  events={counts['events']}  frames={counts['frames']}  "
+            f"walks={counts['walks']}"
+        )
+        report = meta.get("parse_report") or {}
+        if report:
+            print(
+                f"  lines={report.get('total_lines')}  "
+                f"dropped={report.get('events_dropped')}  "
+                f"errors={report.get('error_lines')}"
+            )
+        return 0
+
+    try:
+        capture = load_capture(args.capture)
+    except CaptureError as error:
+        print(f"error: {error}")
+        return 1
+    meta = capture.meta
+    print(f"{args.capture}: schema {meta['schema']}")
+    for key, value in meta["counts"].items():
+        print(f"  {key}: {value}")
+    source = meta.get("source") or {}
+    if source:
+        print(f"  source: {source.get('path')} (policy={source.get('policy')})")
+    if capture.report is not None:
+        report = capture.report
+        print(
+            f"  parse report: {report.total_lines} lines, "
+            f"{report.events_yielded} events, "
+            f"{report.error_lines} error lines, "
+            f"truncated_tail={report.truncated_tail}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -102,6 +102,50 @@ class EventRecord:
             yield frame.node
 
 
+class EventColumns:
+    """Columnar view of a parsed event list — the capture writer's fast
+    input (DESIGN.md §12).
+
+    The vectorized text parser builds these alongside the records for
+    the price of a few dict lookups per event; the capture writer then
+    assembles its arrays from the columns without ever touching the
+    records again.  Invariants (the parser guarantees them, the writer
+    relies on them):
+
+    * every ``*_id`` column indexes its vocabulary, and vocabularies
+      list distinct values in first-appearance order over the events;
+    * ``walks`` lists the distinct walk tuples in first-appearance
+      order, and every event whose walk repeats an earlier one shares
+      the *same* tuple object (walks are interned per parse);
+    * all lists are exactly ``n_events`` long (except the vocabularies
+      and ``walks``, which hold distinct values only).
+    """
+
+    __slots__ = (
+        "n_events",
+        "eid", "timestamp", "pid", "tid", "opcode",
+        "process_id", "category_id", "name_id", "walk_id",
+        "process_vocab", "category_vocab", "name_vocab",
+        "walks",
+    )
+
+    def __init__(self):
+        self.n_events = 0
+        self.eid: list = []
+        self.timestamp: list = []
+        self.pid: list = []
+        self.tid: list = []
+        self.opcode: list = []
+        self.process_id: list = []
+        self.category_id: list = []
+        self.name_id: list = []
+        self.walk_id: list = []
+        self.process_vocab: list = []
+        self.category_vocab: list = []
+        self.name_vocab: list = []
+        self.walks: list = []
+
+
 class EventLog(list):
     """A list of already-parsed :class:`EventRecord` objects.
 
@@ -115,10 +159,13 @@ class EventLog(list):
     ``source`` records where the events came from (the capture
     directory path for the columnar reader, ``None`` for hand-built
     logs) — fleet scans use it to ship a *path* to pool workers instead
-    of pickling the whole event list.
+    of pickling the whole event list.  ``columns`` optionally carries
+    the parser's :class:`EventColumns` sidecar; it is only valid while
+    the log is unmodified, so every mutation drops it (length-changing
+    mutations are additionally caught by the consumer's length check).
     """
 
-    __slots__ = ("report", "source")
+    __slots__ = ("report", "source", "columns")
 
     def __init__(
         self,
@@ -129,8 +176,25 @@ class EventLog(list):
         super().__init__(events)
         self.report = report
         self.source = source
+        self.columns: Optional[EventColumns] = None
 
     def __reduce__(self):
         # list subclass with __slots__: default pickling would drop
         # ``report``/``source``; fleet scans ship EventLogs to workers.
+        # The columns sidecar is deliberately not shipped.
         return (type(self), (list(self), self.report, self.source))
+
+    # Length-preserving mutations would silently desynchronize the
+    # columnar sidecar; drop it.  (Length-changing mutations are caught
+    # by the consumer comparing len(self) to columns.n_events.)
+    def __setitem__(self, index, value):
+        self.columns = None
+        super().__setitem__(index, value)
+
+    def sort(self, *args, **kwargs):
+        self.columns = None
+        super().sort(*args, **kwargs)
+
+    def reverse(self):
+        self.columns = None
+        super().reverse()

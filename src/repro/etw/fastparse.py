@@ -44,7 +44,7 @@ from typing import Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.etw.events import EventRecord, StackFrame
+from repro.etw.events import EventColumns, EventLog, EventRecord, StackFrame
 from repro.etw.parser import (
     PARSE_POLICIES,
     LogLine,
@@ -119,6 +119,7 @@ def parse_fast(
     policy: str = "strict",
     report: Optional[ParseReport] = None,
     require_complete_tail: bool = False,
+    columns: bool = False,
 ) -> List[EventRecord]:
     """Parse raw log text (or a line sequence) into events, fast.
 
@@ -128,6 +129,15 @@ def parse_fast(
     ``bytes`` input additionally mirrors
     :func:`~repro.etw.parser.read_log_lines`: undecodable lines reach
     the parser as raw ``bytes`` for ``BAD_ENCODING`` classification.
+
+    With ``columns=True`` the fast path additionally builds the
+    :class:`~repro.etw.events.EventColumns` sidecar (vocabulary ids and
+    interned walks, assembled for a few dict lookups per event while
+    the build loop is hot) and returns an
+    :class:`~repro.etw.events.EventLog` carrying it — the capture
+    writer's fast input.  Inputs that fall back to the scalar parser
+    return without a sidecar; consumers must treat the sidecar as
+    optional.
     """
     if policy not in PARSE_POLICIES:
         raise ValueError(
@@ -174,7 +184,7 @@ def parse_fast(
         if gc_was_enabled:
             gc.disable()
         try:
-            events, n_blank = _parse_clean(lines)
+            events, n_blank = _parse_clean(lines, columns=columns)
         except _Fallback:
             events = None
         finally:
@@ -194,6 +204,7 @@ def parse_fast(
 def _parse_clean(
     lines: Sequence[LogLine],
     check_tail: bool = True,
+    columns: bool = False,
 ) -> "tuple[List[EventRecord], int]":
     """The fast path proper: raises :class:`_Fallback` on any line the
     scalar parser would classify.  Input lines must already be free of
@@ -202,7 +213,10 @@ def _parse_clean(
     ``check_tail=False`` skips the truncated-tail heuristic — only valid
     when the caller *knows* the final block is complete, i.e. for a
     streaming region cut immediately before the next ``EVENT`` line
-    (:class:`StreamingParser`); end-of-input always checks."""
+    (:class:`StreamingParser`); end-of-input always checks.
+
+    ``columns=True`` builds the :class:`EventColumns` sidecar in the
+    same build loop and returns an :class:`EventLog` carrying it."""
     # -- classification pass: tag per line, nonblank positions ---------
     event_lines: List[str] = []
     stack_lines: List[str] = []
@@ -230,6 +244,10 @@ def _parse_clean(
     if not event_lines:
         if stack_lines:
             raise _Fallback  # orphan stacks; scalar classifies them
+        if columns:
+            empty = EventLog()
+            empty.columns = EventColumns()
+            return empty, n_blank
         return [], n_blank
     if stack_pos and stack_pos[0] < event_pos[0]:
         raise _Fallback  # stack walk before the first event
@@ -267,6 +285,10 @@ def _parse_clean(
 
     # -- build the records --------------------------------------------
     offsets = np.concatenate([[0], np.cumsum(depths)]).tolist()
+    if columns:
+        return _build_with_columns(
+            eids, timestamps, pids, tids, opcodes, ecols, frames, offsets
+        ), n_blank
     events: List[EventRecord] = []
     append = events.append
     new = EventRecord.__new__
@@ -293,6 +315,95 @@ def _parse_clean(
         record.frames = tuple(frames[offsets[index] : offsets[index + 1]])
         append(record)
     return events, n_blank
+
+
+def _build_with_columns(
+    eids: List[int],
+    timestamps: List[int],
+    pids: List[int],
+    tids: List[int],
+    opcodes: List[int],
+    ecols: List[List[str]],
+    frames: List[StackFrame],
+    offsets: List[int],
+) -> EventLog:
+    """The record build loop with the :class:`EventColumns` sidecar:
+    identical records (same bypassed-``__init__`` construction), plus
+    per-event vocabulary ids and interned walk tuples assembled while
+    the loop already holds every field.  Repeated walks share one tuple
+    object — the interning that makes the capture writer's id-based
+    dedup an O(1)-per-event dict hit instead of a per-frame hash."""
+    cols = EventColumns()
+    cols.eid = eids
+    cols.timestamp = timestamps
+    cols.pid = pids
+    cols.tid = tids
+    cols.opcode = opcodes
+    process_ids = cols.process_id
+    category_ids = cols.category_id
+    name_ids = cols.name_id
+    walk_ids = cols.walk_id
+    walks = cols.walks
+    ptable: dict = {}
+    ctable: dict = {}
+    ntable: dict = {}
+    wtable: dict = {}
+    add_pid = process_ids.append
+    add_cid = category_ids.append
+    add_nid = name_ids.append
+    add_wid = walk_ids.append
+    events = EventLog()
+    append = events.append
+    new = EventRecord.__new__
+    for index, (eid, timestamp, pid, process, tid, category, opcode, name) in (
+        enumerate(
+            zip(
+                eids, timestamps, pids, ecols[4], tids,
+                ecols[6], opcodes, ecols[8],
+            )
+        )
+    ):
+        record = new(EventRecord)
+        record.eid = eid
+        record.timestamp = timestamp
+        record.pid = pid
+        record.process = process
+        record.tid = tid
+        record.category = category
+        record.opcode = opcode
+        record.name = name
+        walk = tuple(frames[offsets[index] : offsets[index + 1]])
+        walk_index = wtable.get(walk)
+        if walk_index is None:
+            walk_index = len(walks)
+            wtable[walk] = walk_index
+            walks.append(walk)
+        else:
+            walk = walks[walk_index]
+        record.frames = walk
+        append(record)
+        value = ptable.get(process)
+        if value is None:
+            value = len(ptable)
+            ptable[process] = value
+        add_pid(value)
+        value = ctable.get(category)
+        if value is None:
+            value = len(ctable)
+            ctable[category] = value
+        add_cid(value)
+        value = ntable.get(name)
+        if value is None:
+            value = len(ntable)
+            ntable[name] = value
+        add_nid(value)
+        add_wid(walk_index)
+    cols.n_events = len(events)
+    cols.process_vocab = list(ptable)
+    cols.category_vocab = list(ctable)
+    cols.name_vocab = list(ntable)
+    events.columns = cols
+    return events
 
 
 def _frame_objects(scols: List[List[str]]) -> List[StackFrame]:
@@ -389,6 +500,8 @@ class StreamingParser:
         self.report = self.machine.report
         self.backlog_limit = backlog_limit
         self._holdback: List[LogLine] = []
+        #: every holdback line is known \r-free str (set by cr_free feeds)
+        self._holdback_cr_free = True
         self._scalar_mode = False
         self._finished = False
 
@@ -397,11 +510,18 @@ class StreamingParser:
         """True once the stream has permanently left the bulk fast path."""
         return self._scalar_mode
 
-    def feed_lines(self, lines: Sequence[LogLine]) -> List[EventRecord]:
+    def feed_lines(
+        self, lines: Sequence[LogLine], cr_free: bool = False
+    ) -> List[EventRecord]:
         """Feed the next chunk of (already newline-split, ``\\r\\n``-
         normalized) lines; returns the events they completed.  Strict
         mode raises :class:`~repro.etw.parser.ParseError` exactly as the
-        scalar parser would, with matching line numbers."""
+        scalar parser would, with matching line numbers.
+
+        ``cr_free=True`` asserts every line is a ``str`` with no ``\\r``
+        anywhere (the byte-fed serving path proves this with one C-speed
+        scan of the decoded region), letting the bulk gate skip its
+        per-line re-scan."""
         if self._finished:
             raise RuntimeError("feed_lines() after finish()")
         if self._scalar_mode:
@@ -413,17 +533,22 @@ class StreamingParser:
                 cut = position
                 break
         if cut is None:
+            if not lines:
+                return []
             self._holdback.extend(lines)
+            self._holdback_cr_free = self._holdback_cr_free and cr_free
             if len(self._holdback) > self.backlog_limit:
                 self._scalar_mode = True
                 held, self._holdback = self._holdback, []
                 return self._feed_scalar(held)
             return []
         region = self._holdback + list(lines[:cut])
+        region_cr_free = self._holdback_cr_free and cr_free
         self._holdback = list(lines[cut:])
+        self._holdback_cr_free = cr_free
         if not region:
             return []
-        return self._bulk_region(region)
+        return self._bulk_region(region, cr_free=region_cr_free)
 
     def finish(self) -> List[EventRecord]:
         """End of stream: drain the holdback through the scalar machine
@@ -448,7 +573,9 @@ class StreamingParser:
                 out.append(event)
         return out
 
-    def _bulk_region(self, region: List[LogLine]) -> List[EventRecord]:
+    def _bulk_region(
+        self, region: List[LogLine], cr_free: bool = False
+    ) -> List[EventRecord]:
         # The machine is virgin here (bulk mode never leaves an open
         # block in it), so the region starts at a block boundary.
         gc_was_enabled = gc.isenabled()
@@ -456,8 +583,11 @@ class StreamingParser:
             gc.disable()
         try:
             # A lone \r is field content only the scalar parser can
-            # classify — same gate as parse_fast.
-            if any(isinstance(line, str) and "\r" in line for line in region):
+            # classify — same gate as parse_fast.  A cr_free region was
+            # already proven clean by the caller's whole-buffer scan.
+            if not cr_free and any(
+                isinstance(line, str) and "\r" in line for line in region
+            ):
                 raise _Fallback
             events, n_blank = _parse_clean(region, check_tail=False)
         except _Fallback:

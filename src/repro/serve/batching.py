@@ -43,6 +43,9 @@ class ScoreChunk:
     times: List[float] = field(default_factory=list)
     #: last chunk of its stream
     final: bool = False
+    #: when the chunk became score-ready (flush-wait accounting for the
+    #: adaptive micro-batcher)
+    ready_at: float = 0.0
 
 
 def score_chunks(chunks: Sequence[ScoreChunk]) -> List[np.ndarray]:

@@ -11,14 +11,19 @@ Every message is one *frame*::
 payloads are UTF-8 JSON; ``FRAME_DATA`` payloads are raw log bytes in
 arbitrary chunks — the server reassembles lines across frame
 boundaries, so a client may flush whenever it likes.
+``FRAME_DATA_COLUMNAR`` payloads are self-delimiting columnar chunk
+bytes (:mod:`repro.serve.columnar`) in equally arbitrary fragments —
+the server reassembles chunks across frame boundaries too.  A stream
+commits to one data representation with its first data frame; mixing
+``DATA`` and ``DATA_COLUMNAR`` on one stream is a protocol error.
 
 One connection carries one stream: ``HELLO`` opens it (naming the
 stream, the ``(app, model_version)`` registry key, and the parse
-policy), ``DATA`` frames feed raw bytes, ``END`` asks for the final
-result.  The server pushes ``DETECTIONS`` frames as windows are scored
-and exactly one terminal ``RESULT`` (or ``ERROR``) frame.  A connection
-whose first frame is ``STATUS`` is a metrics probe instead and gets a
-single ``STATUS_REPLY``.
+policy), ``DATA``/``DATA_COLUMNAR`` frames feed bytes, ``END`` asks
+for the final result.  The server pushes ``DETECTIONS`` frames as
+windows are scored and exactly one terminal ``RESULT`` (or ``ERROR``)
+frame.  A connection whose first frame is ``STATUS`` is a metrics
+probe instead and gets a single ``STATUS_REPLY``.
 
 :class:`ServeClient` is the blocking reference client used by the
 tests and the benchmark harness; a background reader thread drains
@@ -40,6 +45,7 @@ FRAME_HELLO = 0x01
 FRAME_DATA = 0x02
 FRAME_END = 0x03
 FRAME_STATUS = 0x04
+FRAME_DATA_COLUMNAR = 0x05
 
 FRAME_DETECTIONS = 0x11
 FRAME_RESULT = 0x12
@@ -150,6 +156,7 @@ class ServeClient:
         self._done = threading.Event()
         self._reader: Optional[threading.Thread] = None
         self._reader_error: Optional[BaseException] = None
+        self._encoder = None  # lazy per-stream columnar ChunkEncoder
 
     # -- stream mode ---------------------------------------------------
     def hello(
@@ -185,6 +192,47 @@ class ServeClient:
         if text:
             text += "\n"
         self.send(text.encode("utf-8"))
+
+    # -- columnar fast path --------------------------------------------
+    def send_chunk(self, chunk: bytes) -> None:
+        """Ship pre-encoded columnar chunk bytes (any fragmentation —
+        the server reassembles chunks across frames)."""
+        self._sock.sendall(pack_frame(FRAME_DATA_COLUMNAR, chunk))
+
+    def send_events(self, events, chunk_events: int = 8192) -> None:
+        """Encode parsed events into columnar chunks and ship them.
+
+        The encoder is per-connection and stateful: repeated calls keep
+        growing the same cumulative vocab/frame/walk tables, so each
+        distinct string, frame, and walk crosses the wire once."""
+        from repro.serve.columnar import ChunkEncoder
+
+        if self._encoder is None:
+            self._encoder = ChunkEncoder()
+        step = max(1, int(chunk_events))
+        for start in range(0, len(events), step):
+            self.send_chunk(
+                self._encoder.encode_events(events[start : start + step])
+            )
+
+    def send_report(self, report) -> None:
+        """Ship the client's local :class:`ParseReport` so the terminal
+        ``RESULT`` matches a server-side parse of the same text."""
+        from repro.serve.columnar import ChunkEncoder
+
+        if self._encoder is None:
+            self._encoder = ChunkEncoder()
+        self.send_chunk(self._encoder.encode_report(report))
+
+    def send_capture(self, path, chunk_events: int = 8192) -> None:
+        """Load a client-local ``.leapscap`` capture and stream it
+        columnar — events in chunks, then its conversion report."""
+        from repro.etw.capture import load_capture
+
+        capture = load_capture(path)
+        self.send_events(list(capture.events), chunk_events=chunk_events)
+        if capture.report is not None:
+            self.send_report(capture.report)
 
     def finish(self, timeout: Optional[float] = 120.0) -> StreamOutcome:
         """Send ``END`` and wait for the terminal frame."""
@@ -236,6 +284,10 @@ class ServeClient:
         except BaseException as error:  # surfaced by finish()
             self._reader_error = error
             self._done.set()
+
+
+#: the columnar-capable client under its fleet-facing name
+StreamClient = ServeClient
 
 
 def request_status(address: Address, timeout: Optional[float] = 10.0) -> dict:

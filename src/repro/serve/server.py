@@ -43,6 +43,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.serve.protocol import (
     FRAME_DATA,
+    FRAME_DATA_COLUMNAR,
     FRAME_END,
     FRAME_HELLO,
     FRAME_STATUS,
@@ -77,6 +78,9 @@ class _Stream:
     stream_id: str
     writer: asyncio.StreamWriter
     inflight_bytes: int = 0
+    #: data representation the stream committed to with its first data
+    #: frame ("text" | "columnar"); mixing is a protocol error
+    mode: Optional[str] = None
     worker_paused: bool = False
     reads_paused: bool = False
     ended: bool = False
@@ -99,9 +103,17 @@ class DetectionServer:
         port: int = 0,
         unix_path: Optional[str] = None,
         ack_window_bytes: int = ACK_WINDOW_BYTES,
+        flush_deadline_s: Optional[float] = None,
+        target_batch_windows: Optional[int] = None,
     ):
         self.registry = registry
-        self.pool = ShardPool(registry, n_shards=n_shards, executor=executor)
+        self.pool = ShardPool(
+            registry,
+            n_shards=n_shards,
+            executor=executor,
+            flush_deadline_s=flush_deadline_s,
+            target_batch_windows=target_batch_windows,
+        )
         self.host = host
         self.port = port
         self.unix_path = unix_path
@@ -158,10 +170,14 @@ class DetectionServer:
         await asyncio.get_running_loop().run_in_executor(None, self.pool.stop)
 
     # -- worker output (pump thread → loop thread) ---------------------
-    def _sink_threadsafe(self, message: tuple) -> None:
+    def _sink_threadsafe(self, messages: List[tuple]) -> None:
         loop = self._loop
         if loop is not None and not loop.is_closed():
-            loop.call_soon_threadsafe(self._on_worker_message, message)
+            loop.call_soon_threadsafe(self._on_worker_messages, messages)
+
+    def _on_worker_messages(self, messages: List[tuple]) -> None:
+        for message in messages:
+            self._on_worker_message(message)
 
     def _on_worker_message(self, message: tuple) -> None:
         kind = message[0]
@@ -299,13 +315,27 @@ class DetectionServer:
                         "policy": doc.get("policy"),
                         "path": doc.get("path"),
                     }))
-                elif frame_type == FRAME_DATA:
+                elif frame_type in (FRAME_DATA, FRAME_DATA_COLUMNAR):
                     if stream is None:
                         raise ProtocolError("DATA before HELLO")
+                    mode = (
+                        "text" if frame_type == FRAME_DATA else "columnar"
+                    )
+                    if stream.mode is None:
+                        stream.mode = mode
+                    elif stream.mode != mode:
+                        raise ProtocolError(
+                            f"stream sent {mode} data after committing "
+                            f"to {stream.mode}"
+                        )
                     stream.inflight_bytes += len(payload)
                     self.pool.send(
                         stream.stream_id,
-                        ("data", stream.stream_id, payload),
+                        (
+                            "data" if mode == "text" else "data_columnar",
+                            stream.stream_id,
+                            payload,
+                        ),
                     )
                     self._update_reads(stream)
                 elif frame_type == FRAME_END:
@@ -418,6 +448,8 @@ def start_in_thread(
     port: int = 0,
     unix_path: Optional[str] = None,
     ack_window_bytes: int = ACK_WINDOW_BYTES,
+    flush_deadline_s: Optional[float] = None,
+    target_batch_windows: Optional[int] = None,
 ) -> ServerHandle:
     """Start a :class:`DetectionServer` on a dedicated event-loop
     thread and block until it is accepting connections."""
@@ -429,6 +461,8 @@ def start_in_thread(
         port=port,
         unix_path=unix_path,
         ack_window_bytes=ack_window_bytes,
+        flush_deadline_s=flush_deadline_s,
+        target_batch_windows=target_batch_windows,
     )
     started = threading.Event()
     box: dict = {}

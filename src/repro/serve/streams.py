@@ -30,6 +30,7 @@ from typing import Callable, List, Optional
 from repro.etw.fastparse import StreamingParser
 from repro.etw.parser import LogLine, ParseError
 from repro.serve.batching import ScoreChunk
+from repro.serve.columnar import CaptureChunkDecoder, ChunkError
 
 
 class StreamScanner:
@@ -58,32 +59,91 @@ class StreamScanner:
         self._pending: List = []  # windows of the open (partial) chunk
         self._pending_times: List[float] = []
         self._ready: List[ScoreChunk] = []
+        self._decoder: Optional[CaptureChunkDecoder] = None
+        self._mode: Optional[str] = None  # "text" | "columnar" once fed
         self.events_seen = 0
         self.windows_made = 0
         self.bytes_seen = 0
+        self.lines_seen = 0
+        self.decode_s = 0.0  # byte→line / chunk→event decode time
+        self.featurize_s = 0.0  # transform + coalesce + chunk time
         self.finished = False
         self.disconnected = False
         self.error: Optional[ParseError] = None
 
     # -- ingest --------------------------------------------------------
     def feed_bytes(self, data: bytes) -> None:
-        """Ingest the next raw payload; lines split across payloads are
-        held as a fragment until their newline arrives."""
+        """Ingest the next raw text payload; lines split across
+        payloads are held as a fragment until their newline arrives.
+
+        The whole completed region is decoded in one pass (one
+        ``decode`` + one ``split`` instead of per-line calls); the
+        result is identical to per-piece decoding because ``\\n`` is a
+        single byte no UTF-8 sequence can span, ``\\r\\n`` collapse
+        touches exactly the bytes per-piece ``strip_cr`` would, and an
+        undecodable region falls back to the per-piece path so only
+        genuinely broken lines pass through as ``bytes``."""
         self.bytes_seen += len(data)
+        if self._mode == "columnar":
+            raise ChunkError("stream already carries columnar data")
+        self._mode = "text"
+        start = time.perf_counter()
         buffer = self._fragment + data
-        pieces = buffer.split(b"\n")
-        self._fragment = pieces.pop()
-        if pieces:
-            self.feed_lines([self._decode(piece, strip_cr=True) for piece in pieces])
+        cut = buffer.rfind(b"\n")
+        if cut < 0:
+            self._fragment = buffer
+            self.decode_s += time.perf_counter() - start
+            return
+        region = buffer[: cut + 1]
+        self._fragment = buffer[cut + 1 :]
+        cr_free = False
+        try:
+            text = region.decode("utf-8")
+        except UnicodeDecodeError:
+            pieces = region.split(b"\n")
+            pieces.pop()  # region ends with the delimiter
+            lines: List[LogLine] = [
+                self._decode(piece, strip_cr=True) for piece in pieces
+            ]
+        else:
+            if "\r" in text:
+                text = text.replace("\r\n", "\n")
+            else:
+                # one C-speed scan proved the whole region \r-free, so
+                # the bulk parser can skip its per-line gate
+                cr_free = True
+            lines = text.split("\n")
+            lines.pop()
+        self.decode_s += time.perf_counter() - start
+        self.feed_lines(lines, cr_free=cr_free)
 
     def feed_events(self, events: List) -> None:
         """Ingest already-parsed events (a ``.leapscap`` capture served
         by path) — same featurize/coalesce/chunk path, no parse."""
         self._ingest(events)
 
-    def feed_lines(self, lines: List[LogLine]) -> None:
+    def feed_chunk_bytes(self, data: bytes) -> None:
+        """Ingest columnar chunk bytes (``FRAME_DATA_COLUMNAR``
+        payloads) in arbitrary fragments; client-shipped report chunks
+        merge into this stream's report so the terminal result matches
+        a server-side parse of the same text."""
+        self.bytes_seen += len(data)
+        if self._mode == "text":
+            raise ChunkError("stream already carries text data")
+        self._mode = "columnar"
+        if self._decoder is None:
+            self._decoder = CaptureChunkDecoder()
+        start = time.perf_counter()
+        events, reports = self._decoder.feed(data)
+        self.decode_s += time.perf_counter() - start
+        for report in reports:
+            self.report.merge(report)
+        self._ingest(events)
+
+    def feed_lines(self, lines: List[LogLine], cr_free: bool = False) -> None:
+        self.lines_seen += len(lines)
         try:
-            events = self.parser.feed_lines(lines)
+            events = self.parser.feed_lines(lines, cr_free=cr_free)
         except ParseError as error:
             # strict policy: the stream is dead; the report was
             # finalized by the machine before raising
@@ -105,6 +165,18 @@ class StreamScanner:
         if self.finished:
             return
         self.disconnected = disconnected
+        if self._decoder is not None and self._decoder.buffered_bytes:
+            # a columnar chunk was cut short: fatal on a clean END (the
+            # client claims it sent everything), merely truncation on a
+            # disconnect (the partial chunk is discarded; the forced
+            # truncated-tail below records the loss)
+            if not disconnected:
+                self.finished = True
+                raise ChunkError(
+                    f"{self._decoder.buffered_bytes} bytes of an "
+                    "incomplete columnar chunk at END"
+                )
+            self._decoder = CaptureChunkDecoder()
         tail: List[LogLine] = []
         if self._fragment:
             # final unterminated line; a trailing \r is content here,
@@ -164,6 +236,7 @@ class StreamScanner:
     def _ingest(self, events: List) -> None:
         if not events:
             return
+        start = time.perf_counter()
         now = self._clock()
         if len(events) >= 8:
             # bulk region: vectorized featurization + block coalescing
@@ -191,6 +264,7 @@ class StreamScanner:
                 pending = self._pending
                 times = self._pending_times
         self.events_seen += len(events)
+        self.featurize_s += time.perf_counter() - start
 
     def _close_chunk(self, final: bool) -> ScoreChunk:
         chunk = ScoreChunk(
@@ -199,6 +273,7 @@ class StreamScanner:
             windows=self._pending,
             times=self._pending_times,
             final=final,
+            ready_at=self._clock(),
         )
         self.windows_made += len(self._pending)
         self._pending = []

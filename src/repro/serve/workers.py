@@ -16,6 +16,13 @@ Each worker runs :func:`shard_worker_loop` over an input queue:
   under load many streams' payloads land between scoring calls and
   their ready chunks coalesce into one micro-batch
   (:func:`repro.serve.batching.score_chunks`);
+* scoring is **adaptively batched**: ready chunks wait up to
+  ``flush_deadline_s`` for batch-mates from other streams (or until
+  ``target_batch_windows`` are ready, whichever first) before the
+  kernel call fires — bigger batches per call under load, bounded
+  added latency when idle, and bit-identical scores at any setting
+  (the knobs live on :class:`repro.core.config.LeapsConfig` as
+  ``serve_flush_deadline_s`` / ``serve_target_batch_windows``);
 * backpressure: every ``data`` payload is acknowledged after parsing
   (the server bounds per-stream unacked bytes), and a stream whose
   unscored-window queue crosses :data:`WINDOW_HIGH_WATER` gets an
@@ -46,10 +53,12 @@ import numpy as np
 
 from pathlib import Path
 
+from repro.core.config import LeapsConfig
 from repro.core.persistence import BundleError
 from repro.etw.capture import CaptureError, is_capture_path, load_capture
 from repro.etw.parser import ParseError, evict_frame_intern, frame_intern_stats
 from repro.serve.batching import ScoreChunk, score_chunks
+from repro.serve.columnar import ChunkError
 from repro.serve.registry import ModelRegistry, UnknownModelError
 from repro.serve.streams import StreamScanner
 
@@ -57,8 +66,6 @@ from repro.serve.streams import StreamScanner
 WINDOW_HIGH_WATER = 2048
 #: unscored windows per stream under which a paused stream resumes
 WINDOW_LOW_WATER = 512
-#: ready windows that force a scoring flush mid-drain
-BATCH_MAX_WINDOWS = 4096
 #: per-shard bound on retained window→detection latency samples
 LATENCY_SAMPLES = 200_000
 
@@ -89,6 +96,9 @@ class _ShardState:
         self.closing: Dict[str, StreamScanner] = {}
         self.paused: set = set()
         self.ready_windows = 0
+        #: when the oldest currently-ready chunk became ready (None
+        #: while nothing is ready) — the flush-deadline anchor
+        self.oldest_ready_at: Optional[float] = None
         self.events_total = 0
         self.windows_scored = 0
         self.detections_total = 0
@@ -98,6 +108,32 @@ class _ShardState:
         self.streams_completed = 0
         self.latencies: deque = deque(maxlen=LATENCY_SAMPLES)
         self.started = time.monotonic()
+        # per-stage cumulative counters of *retired* streams; _stats
+        # adds the live/closing scanners on top
+        self.stage_bytes_in = 0
+        self.stage_lines = 0
+        self.stage_events = 0
+        self.stage_decode_s = 0.0
+        self.stage_featurize_s = 0.0
+        self.score_s = 0.0
+        self.flush_wait_s = 0.0
+        self.flushed_chunks = 0
+
+    def note_ready(self, scanner: StreamScanner, ready_before: int) -> None:
+        delta = scanner.ready_window_count - ready_before
+        if delta:
+            if self.ready_windows == 0:
+                self.oldest_ready_at = time.monotonic()
+            self.ready_windows += delta
+
+    def retire(self, scanner: StreamScanner) -> None:
+        """Fold a finished/failed scanner's stage counters into the
+        shard accumulators before its state is dropped."""
+        self.stage_bytes_in += scanner.bytes_seen
+        self.stage_lines += scanner.lines_seen
+        self.stage_events += scanner.events_seen
+        self.stage_decode_s += scanner.decode_s
+        self.stage_featurize_s += scanner.featurize_s
 
 
 def shard_worker_loop(
@@ -105,8 +141,15 @@ def shard_worker_loop(
     in_queue,
     out_queue,
     registry_spec: dict,
+    flush_deadline_s: Optional[float] = None,
+    target_batch_windows: Optional[int] = None,
 ) -> None:
     """The worker main loop; identical under thread and process pools."""
+    defaults = LeapsConfig()
+    if flush_deadline_s is None:
+        flush_deadline_s = defaults.serve_flush_deadline_s
+    if target_batch_windows is None:
+        target_batch_windows = defaults.serve_target_batch_windows
     registry = ModelRegistry.from_spec(
         registry_spec, on_reload=evict_frame_intern
     )
@@ -114,32 +157,56 @@ def shard_worker_loop(
     put = out_queue.put
     stop = False
     while not stop:
-        message = in_queue.get()
+        if state.ready_windows and state.oldest_ready_at is not None:
+            # something is score-ready: wait for batch-mates only until
+            # the oldest chunk's flush deadline
+            remaining = flush_deadline_s - (
+                time.monotonic() - state.oldest_ready_at
+            )
+            if remaining <= 0 or state.ready_windows >= target_batch_windows:
+                _flush(state, put)
+                _finalize(state, put)
+                continue
+            try:
+                message = in_queue.get(timeout=remaining)
+            except queue.Empty:
+                _flush(state, put)
+                _finalize(state, put)
+                continue
+        else:
+            message = in_queue.get()
         stop = _handle(state, put, message)
         # opportunistic drain: whatever arrived while we were busy gets
-        # parsed now, so the flush below scores it all in one batch
-        while not stop and state.ready_windows < BATCH_MAX_WINDOWS:
+        # parsed now, so one flush scores it all in one batch
+        while not stop and state.ready_windows < target_batch_windows:
             try:
                 message = in_queue.get_nowait()
             except queue.Empty:
                 break
             stop = _handle(state, put, message)
-        _flush(state, put)
+        if stop or state.ready_windows >= target_batch_windows:
+            _flush(state, put)
+        # streams whose chunks are all scored finalize immediately —
+        # only streams with unflushed windows wait on the deadline
+        _finalize(state, put)
 
 
 def _handle(state: _ShardState, put, message) -> bool:
     kind = message[0]
-    if kind == "data":
+    if kind in ("data", "data_columnar"):
         _, stream_id, payload = message
         scanner = state.scanners.get(stream_id)
         if scanner is not None:
             ready_before = scanner.ready_window_count
             try:
-                scanner.feed_bytes(payload)
-            except ParseError as error:
+                if kind == "data":
+                    scanner.feed_bytes(payload)
+                else:
+                    scanner.feed_chunk_bytes(payload)
+            except (ParseError, ChunkError) as error:
                 _fail_stream(state, put, stream_id, scanner, error)
             else:
-                state.ready_windows += scanner.ready_window_count - ready_before
+                state.note_ready(scanner, ready_before)
                 if (
                     stream_id not in state.paused
                     and scanner.unscored_windows > WINDOW_HIGH_WATER
@@ -197,7 +264,7 @@ def _handle(state: _ShardState, put, message) -> bool:
                 )
             )
             return False
-        state.ready_windows += scanner.ready_window_count - ready_before
+        state.note_ready(scanner, ready_before)
         state.closing[stream_id] = scanner
         return False
     if kind in ("end", "abort"):
@@ -208,10 +275,10 @@ def _handle(state: _ShardState, put, message) -> bool:
         ready_before = scanner.ready_window_count
         try:
             scanner.finish(disconnected=(kind == "abort"))
-        except ParseError as error:
+        except (ParseError, ChunkError) as error:
             _fail_stream(state, put, stream_id, scanner, error)
             return False
-        state.ready_windows += scanner.ready_window_count - ready_before
+        state.note_ready(scanner, ready_before)
         state.closing[stream_id] = scanner
         return False
     if kind == "stats":
@@ -226,20 +293,23 @@ def _handle(state: _ShardState, put, message) -> bool:
 def _fail_stream(
     state: _ShardState, put, stream_id: str, scanner: StreamScanner, error
 ) -> None:
-    """Strict-mode parse failure: the report was finalized by the parse
-    machine before raising; surface it with the error and free the
+    """Fatal stream failure — a strict-mode parse error (the report was
+    finalized by the parse machine before raising) or a columnar chunk
+    that failed validation.  Surface it with the error and free the
     stream (its unscored windows die with it, as in a serial
     ``scan_stream`` that raised)."""
     state.scanners.pop(stream_id, None)
     state.paused.discard(stream_id)
+    state.retire(scanner)
+    kind = getattr(error, "kind", None)  # ParseError carries an enum
     put(
         (
             "error",
             stream_id,
             {
                 "error": str(error),
-                "kind": getattr(error.kind, "name", None),
-                "lineno": error.lineno,
+                "kind": getattr(kind, "name", type(error).__name__),
+                "lineno": getattr(error, "lineno", None),
                 "report": scanner.report.to_dict(),
             },
         )
@@ -248,17 +318,23 @@ def _fail_stream(
 
 def _flush(state: _ShardState, put) -> None:
     """Score every ready chunk across every stream in one micro-batched
-    call, emit detections, resume drained streams, finalize closing
-    streams whose chunks are all scored."""
+    call, emit detections, resume drained streams."""
     chunks: List[ScoreChunk] = []
     for scanner in state.scanners.values():
         chunks.extend(scanner.take_ready())
     for scanner in state.closing.values():
         chunks.extend(scanner.take_ready())
     state.ready_windows = 0
+    state.oldest_ready_at = None
     if chunks:
+        score_start = time.monotonic()
         results = score_chunks(chunks)
         now = time.monotonic()
+        state.score_s += now - score_start
+        state.flush_wait_s += sum(
+            score_start - chunk.ready_at for chunk in chunks
+        )
+        state.flushed_chunks += len(chunks)
         state.batches += 1
         for chunk, scores in zip(chunks, results):
             rows = _detection_rows(chunk, scores)
@@ -274,7 +350,12 @@ def _flush(state: _ShardState, put) -> None:
         if scanner is None or scanner.unscored_windows < WINDOW_LOW_WATER:
             state.paused.discard(stream_id)
             put(("resume", stream_id))
-    # emit final results for fully-scored closing streams
+
+
+def _finalize(state: _ShardState, put) -> None:
+    """Emit final results for closing streams whose chunks are all
+    scored — split from :func:`_flush` so a stream that ends with
+    nothing left to score never waits on the flush deadline."""
     for stream_id in list(state.closing):
         scanner = state.closing[stream_id]
         if scanner.unscored_windows:
@@ -282,6 +363,7 @@ def _flush(state: _ShardState, put) -> None:
         del state.closing[stream_id]
         state.events_total += scanner.events_seen
         state.streams_completed += 1
+        state.retire(scanner)
         put(
             (
                 "result",
@@ -309,6 +391,9 @@ def _stats(state: _ShardState, include_latencies: bool) -> dict:
     samples = list(state.latencies)
     elapsed = time.monotonic() - state.started
     intern = frame_intern_stats()
+    live_scanners = list(state.scanners.values()) + list(
+        state.closing.values()
+    )
     stats = {
         "shard": state.shard_index,
         "streams_live": len(state.scanners),
@@ -324,6 +409,25 @@ def _stats(state: _ShardState, include_latencies: bool) -> dict:
         "mean_batch_windows": (
             state.batch_windows / state.batches if state.batches else 0.0
         ),
+        "mean_flush_wait_s": (
+            state.flush_wait_s / state.flushed_chunks
+            if state.flushed_chunks
+            else 0.0
+        ),
+        "stages": {
+            "bytes_in": state.stage_bytes_in
+            + sum(s.bytes_seen for s in live_scanners),
+            "lines_parsed": state.stage_lines
+            + sum(s.lines_seen for s in live_scanners),
+            "events_decoded": state.stage_events
+            + sum(s.events_seen for s in live_scanners),
+            "decode_s": state.stage_decode_s
+            + sum(s.decode_s for s in live_scanners),
+            "featurize_s": state.stage_featurize_s
+            + sum(s.featurize_s for s in live_scanners),
+            "score_s": state.score_s,
+            "flushed_chunks": state.flushed_chunks,
+        },
         "unscored_windows": {
             stream_id: scanner.unscored_windows
             for stream_id, scanner in state.scanners.items()
@@ -363,6 +467,8 @@ class ShardPool:
         registry: ModelRegistry,
         n_shards: int = 1,
         executor: str = "process",
+        flush_deadline_s: Optional[float] = None,
+        target_batch_windows: Optional[int] = None,
     ):
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
@@ -371,6 +477,7 @@ class ShardPool:
         self.n_shards = n_shards
         self.executor = executor
         spec = registry.spec()
+        worker_args = (flush_deadline_s, target_batch_windows)
         if executor == "process":
             context = multiprocessing.get_context()
             self.out_queue = context.Queue()
@@ -378,7 +485,8 @@ class ShardPool:
             self.workers = [
                 context.Process(
                     target=shard_worker_loop,
-                    args=(index, self.in_queues[index], self.out_queue, spec),
+                    args=(index, self.in_queues[index], self.out_queue, spec)
+                    + worker_args,
                     daemon=True,
                     name=f"leaps-shard-{index}",
                 )
@@ -390,7 +498,8 @@ class ShardPool:
             self.workers = [
                 threading.Thread(
                     target=shard_worker_loop,
-                    args=(index, self.in_queues[index], self.out_queue, spec),
+                    args=(index, self.in_queues[index], self.out_queue, spec)
+                    + worker_args,
                     daemon=True,
                     name=f"leaps-shard-{index}",
                 )
@@ -399,9 +508,10 @@ class ShardPool:
         self._pump: Optional[threading.Thread] = None
         self._started = False
 
-    def start(self, sink: Callable[[tuple], None]) -> None:
+    def start(self, sink: Callable[[List[tuple]], None]) -> None:
         """Start every worker and the pump thread delivering worker
-        output messages to ``sink`` (called from the pump thread)."""
+        output messages to ``sink`` in arrival-order batches (called
+        from the pump thread)."""
         for worker in self.workers:
             worker.start()
         self._pump = threading.Thread(
@@ -410,12 +520,27 @@ class ShardPool:
         self._pump.start()
         self._started = True
 
-    def _pump_loop(self, sink: Callable[[tuple], None]) -> None:
+    def _pump_loop(self, sink: Callable[[List[tuple]], None]) -> None:
+        # greedy drain: one sink call (one event-loop wakeup) delivers
+        # everything queued since the last burst, so a scoring flush
+        # that emits hundreds of messages costs one loop crossing
         while True:
-            message = self.out_queue.get()
-            if message[0] == "__pump_stop__":
+            batch = [self.out_queue.get()]
+            try:
+                while True:
+                    batch.append(self.out_queue.get_nowait())
+            except queue.Empty:
+                pass
+            stop = any(message[0] == "__pump_stop__" for message in batch)
+            if stop:
+                batch = [
+                    message for message in batch
+                    if message[0] != "__pump_stop__"
+                ]
+            if batch:
+                sink(batch)
+            if stop:
                 return
-            sink(message)
 
     def shard_of(self, stream_id: str) -> int:
         return shard_for(stream_id, self.n_shards)

@@ -36,6 +36,8 @@ class TestConfigValidation:
             {"cv_executor": "coroutine"},
             {"parse_policy": "lenient"},
             {"stream_chunk_windows": 0},
+            {"serve_flush_deadline_s": -0.1},
+            {"serve_target_batch_windows": 0},
             # folds < 2 cannot pick among multiple grid points
             {"cv_folds": 0, "lam_grid": (1.0, 2.0)},
         ],

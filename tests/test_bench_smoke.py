@@ -157,7 +157,7 @@ def test_bench_prepare_quick_emits_valid_json(data_dir, tmp_path):
 
 REQUIRED_E2E_DATASET_KEYS = {
     "dataset", "source", "lines", "events", "text_bytes", "capture_bytes",
-    "convert_s", "ingest", "e2e",
+    "convert_s", "ingest", "e2e", "writer",
 }
 REQUIRED_E2E_TIMING_KEYS = {
     "text_s", "capture_s", "text_lines_per_s", "capture_lines_per_s",
@@ -187,13 +187,15 @@ def test_bench_e2e_quick_emits_valid_json(tmp_path):
     assert completed.returncode == 0, completed.stderr
 
     payload = json.loads(output.read_text())
-    assert payload["schema"] == "leaps-bench-e2e/v1"
+    assert payload["schema"] == "leaps-bench-e2e/v2"
     assert {"created_utc", "host", "config", "datasets", "summary"} <= set(payload)
     assert payload["summary"]["datasets"] == 1
     assert payload["summary"]["source"] in ("golden", "synthetic")
     assert payload["summary"]["min_ingest_speedup"] > 0
     assert payload["summary"]["min_e2e_speedup"] > 0
+    assert payload["summary"]["min_writer_speedup"] > 0
     assert payload["summary"]["all_bit_identical"] is True
+    assert payload["summary"]["writer_byte_identical"] is True
 
     (dataset,) = payload["datasets"]
     assert REQUIRED_E2E_DATASET_KEYS <= set(dataset)
@@ -204,6 +206,10 @@ def test_bench_e2e_quick_emits_valid_json(tmp_path):
     assert dataset["lines"] > 0 and dataset["events"] > 0
     assert dataset["convert_s"] > 0
     assert dataset["e2e"]["windows"] > 0
+    assert dataset["writer"]["naive_s"] > 0
+    assert dataset["writer"]["vectorized_s"] > 0
+    assert dataset["writer"]["speedup"] > 0
+    assert dataset["writer"]["byte_identical"] is True
 
 
 def test_bench_ingest_emits_valid_json(data_dir, tmp_path):

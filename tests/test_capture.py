@@ -23,6 +23,7 @@ from repro.etw.capture import (
     load_capture,
     read_capture,
     write_capture,
+    write_capture_naive,
 )
 from repro.etw.events import EventLog
 from repro.etw.parser import (
@@ -220,3 +221,147 @@ class TestValidation:
 
     def test_schema_constant(self):
         assert SCHEMA == "leaps-capture/v1"
+
+
+class TestWriterEquivalence:
+    """``write_capture`` is the vectorized twin of
+    ``write_capture_naive`` — byte-identical output on every input
+    shape, differing only in speed."""
+
+    @staticmethod
+    def assert_captures_identical(a, b):
+        """Byte-compare two capture directories; the npz is compared
+        per member because zip containers embed timestamps."""
+        import zipfile
+
+        assert sorted(p.name for p in a.iterdir()) == sorted(
+            p.name for p in b.iterdir()
+        )
+        assert (a / "capture.json").read_bytes() == (
+            b / "capture.json"
+        ).read_bytes()
+        with zipfile.ZipFile(a / "arrays.npz") as zip_a, zipfile.ZipFile(
+            b / "arrays.npz"
+        ) as zip_b:
+            assert zip_a.namelist() == zip_b.namelist()
+            for member in zip_a.namelist():
+                assert zip_a.read(member) == zip_b.read(member), member
+
+    def write_both(self, tmp_path, events, **kwargs):
+        naive = write_capture_naive(tmp_path / "naive.leapscap", events, **kwargs)
+        vec = write_capture(tmp_path / "vec.leapscap", events, **kwargs)
+        self.assert_captures_identical(naive, vec)
+        return vec
+
+    def test_columns_sidecar_path(self, tmp_path):
+        from repro.etw.fastparse import parse_fast
+
+        report = ParseReport()
+        events = parse_fast(
+            TINY_LOG.splitlines(), policy="drop", report=report, columns=True
+        )
+        assert events.columns is not None  # the fast assembly path
+        vec = self.write_both(
+            tmp_path, events, report=report, source={"path": "x.log"}
+        )
+        assert list(load_capture(vec).events) == list(events)
+
+    def test_generic_event_list_path(self, tmp_path):
+        events = RawLogParser().parse_lines(TINY_LOG.splitlines())
+        self.write_both(tmp_path, events)
+
+    def test_empty_events(self, tmp_path):
+        self.write_both(tmp_path, [])
+
+    def test_uint64_addresses(self, tmp_path):
+        lines = TINY_LOG.splitlines()
+        lines[1] = "STACK|0|0|app.exe|WinMain|0xfffffffffffff012"
+        events = RawLogParser().parse_lines(lines)
+        vec = self.write_both(tmp_path, events)
+        loaded = list(load_capture(vec).events)
+        assert loaded[0].frames[0].address == 0xFFFFFFFFFFFFF012
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_fault_corpus(self, tmp_path, seed):
+        from repro.etw.fastparse import parse_fast
+
+        base = TINY_LOG.splitlines() * 3
+        for variant in fault_corpus(base, seed=seed):
+            report = ParseReport()
+            events = parse_fast(
+                variant.lines, policy="drop", report=report, columns=True
+            )
+            scratch = tmp_path / variant.name
+            scratch.mkdir()
+            self.write_both(scratch, events, report=report)
+
+    def test_out_of_range_error_parity(self, tmp_path):
+        events = list(iter_parse(TINY_LOG.splitlines()))
+        huge = events[0].with_frames(events[0].frames)
+        huge.timestamp = 2**70
+        for writer in (write_capture_naive, write_capture):
+            with pytest.raises(CaptureError, match="int64 range"):
+                writer(tmp_path / "x.leapscap", [huge])
+
+
+    @pytest.mark.skipif(not DATA_DIR.is_dir(), reason="golden cache missing")
+    def test_golden_heads(self, tmp_path):
+        from repro.etw.fastparse import parse_fast
+
+        from tests.test_golden_logs import ALL_LOGS, read_header
+
+        for relpath in ALL_LOGS:
+            lines = [raw.rstrip("\n") for raw in read_header(relpath)]
+            report = ParseReport()
+            events = parse_fast(
+                lines, policy="drop", report=report, columns=True
+            )
+            scratch = tmp_path / relpath.replace("/", "_")
+            scratch.mkdir()
+            self.write_both(scratch, events, report=report)
+
+
+class TestCaptureCli:
+    """``python -m repro.etw.capture`` convert/info round trip."""
+
+    def test_convert_then_info(self, tmp_path, capsys):
+        from repro.etw.capture import main
+
+        src = tmp_path / "host.log"
+        src.write_text(TINY_LOG, encoding="utf-8")
+        assert main(["convert", str(src)]) == 0
+        out = capsys.readouterr().out
+        capture_path = tmp_path / "host.leapscap"
+        assert str(capture_path) in out
+        assert "events=3" in out
+        assert main(["info", str(capture_path)]) == 0
+        out = capsys.readouterr().out
+        assert f"schema {SCHEMA}" in out
+        assert "parse report: 15 lines, 3 events" in out
+
+    def test_convert_explicit_destination_and_policy(self, tmp_path, capsys):
+        from repro.etw.capture import main
+
+        src = tmp_path / "host.log"
+        src.write_text(
+            TINY_LOG + "@@corrupt@@\n" + TINY_LOG, encoding="utf-8"
+        )
+        dst = tmp_path / "out.leapscap"
+        assert main(["convert", str(src), str(dst), "--policy", "drop"]) == 0
+        out = capsys.readouterr().out
+        assert "events=6" in out
+        assert "dropped=" in out
+        capture = load_capture(dst)
+        assert capture.report.error_lines == 1
+
+    def test_missing_log_fails_cleanly(self, tmp_path, capsys):
+        from repro.etw.capture import main
+
+        assert main(["convert", str(tmp_path / "nope.log")]) == 1
+        assert "error:" in capsys.readouterr().out
+
+    def test_info_on_non_capture_fails_cleanly(self, tmp_path, capsys):
+        from repro.etw.capture import main
+
+        assert main(["info", str(tmp_path / "nope.leapscap")]) == 1
+        assert "error:" in capsys.readouterr().out

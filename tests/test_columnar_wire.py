@@ -1,0 +1,198 @@
+"""Columnar wire chunks: the binary fast path must be invisible.
+
+A stream shipped as ``FRAME_DATA_COLUMNAR`` chunks — cut at *any* byte
+boundary — must decode into the same interned events, merge into the
+same :class:`ParseReport`, and score into the same detections as the
+whole-log text path.  Property-tested here with hypothesis-driven
+fragmentation across all three parse policies, plus direct validation
+of the codec's tamper rejection.
+"""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.etw.fastparse import parse_fast
+from repro.etw.recovery import ParseReport
+from repro.serve.batching import score_chunks
+from repro.serve.columnar import (
+    CHUNK_HEADER_SIZE,
+    CaptureChunkDecoder,
+    ChunkEncoder,
+    ChunkError,
+    encode_event_stream,
+)
+from repro.serve.streams import StreamScanner
+
+from tests.conftest import TINY_LOG
+from tests.test_api import make_log
+from tests.test_stream_scan import SCAN_SPECS, tiny_detector
+
+
+@pytest.fixture(scope="module")
+def detector():
+    return tiny_detector()
+
+
+def encode_blob(events, report=None, chunk_events=8192):
+    """Whole stream as one contiguous byte blob of columnar chunks."""
+    return b"".join(encode_event_stream(events, report, chunk_events))
+
+
+def scan_columnar(detector, blob, cuts=()):
+    """Feed a chunk blob through a :class:`StreamScanner` in fragments
+    cut at ``cuts`` and score it; returns (detection rows, scanner)."""
+    scanner = StreamScanner("wire", detector.pipeline, policy="drop")
+    bounds = sorted({0, *cuts, len(blob)})
+    for start, stop in zip(bounds, bounds[1:]):
+        scanner.feed_chunk_bytes(blob[start:stop])
+    scanner.finish()
+    chunks = scanner.take_ready()
+    rows = []
+    for chunk, scores in zip(chunks, score_chunks(chunks)):
+        for window, score in zip(chunk.windows, scores):
+            rows.append(
+                (window.start_index, window.start_eid, window.end_eid,
+                 float(score))
+            )
+    return rows, scanner
+
+
+def text_reference(detector, lines, policy):
+    """The whole-log text path: detections plus its ParseReport."""
+    report = ParseReport()
+    rows = [
+        (d.index, d.start_eid, d.end_eid, d.score)
+        for d in detector.scan_stream(lines, policy=policy, report=report)
+    ]
+    return rows, report
+
+
+class TestCodecRoundTrip:
+    def test_events_and_interning_survive_the_wire(self):
+        events = parse_fast(TINY_LOG.splitlines())
+        decoder = CaptureChunkDecoder()
+        got, reports = decoder.feed(encode_blob(events, chunk_events=2))
+        assert reports == []
+        assert got == list(events)
+        for mine, theirs in zip(got, events):
+            for frame_a, frame_b in zip(mine.frames, theirs.frames):
+                assert frame_a is frame_b  # process-wide intern table
+            assert mine.frames is theirs.frames or mine.frames == theirs.frames
+
+    def test_deltas_are_cumulative_across_chunks(self):
+        """Repeated events cost a header + columns, never re-shipped
+        vocab/frame/walk tables — the whole point of the delta scheme."""
+        events = parse_fast(TINY_LOG.splitlines())
+        encoder = ChunkEncoder()
+        first = encoder.encode_events(events)
+        again = encoder.encode_events(events)
+        assert len(again) < len(first)
+        decoder = CaptureChunkDecoder()
+        got, _ = decoder.feed(first + again)
+        assert got == list(events) + list(events)
+
+    def test_report_chunk_round_trips(self):
+        report = ParseReport()
+        lines = TINY_LOG.splitlines()
+        events = parse_fast(
+            lines[:3] + ["@@corrupt@@"] + lines[3:],
+            policy="drop",
+            report=report,
+        )
+        blob = encode_blob(events, report)
+        _, reports = CaptureChunkDecoder().feed(blob)
+        assert len(reports) == 1
+        assert reports[0].to_dict() == report.to_dict()
+
+
+class TestCodecValidation:
+    def blob(self):
+        return encode_blob(parse_fast(TINY_LOG.splitlines()))
+
+    def test_bad_magic(self):
+        with pytest.raises(ChunkError, match="magic"):
+            CaptureChunkDecoder().feed(b"XX" + self.blob()[2:])
+
+    def test_bad_version(self):
+        blob = bytearray(self.blob())
+        blob[2] = 99
+        with pytest.raises(ChunkError, match="version 99"):
+            CaptureChunkDecoder().feed(bytes(blob))
+
+    def test_unknown_kind(self):
+        blob = bytearray(self.blob())
+        blob[3] = 7
+        with pytest.raises(ChunkError, match="kind 7"):
+            CaptureChunkDecoder().feed(bytes(blob))
+
+    def test_truncated_body_stays_buffered(self):
+        blob = self.blob()
+        decoder = CaptureChunkDecoder()
+        events, _ = decoder.feed(blob[:-1])
+        assert events == []
+        assert decoder.buffered_bytes == len(blob) - 1
+        events, _ = decoder.feed(blob[-1:])
+        assert len(events) == len(TINY_LOG.splitlines()) // 5
+        assert decoder.buffered_bytes == 0
+
+    def test_id_out_of_range(self):
+        blob = bytearray(self.blob())
+        # walk_id is the last int64 column; corrupt its final cell
+        struct.pack_into("<q", blob, len(blob) - 8, 999)
+        with pytest.raises(ChunkError, match="walk_id out of range"):
+            CaptureChunkDecoder().feed(bytes(blob))
+
+    def test_trailing_garbage_in_body(self):
+        blob = self.blob()
+        magic, version, kind, body_len = struct.unpack(
+            ">2sBBI", blob[:CHUNK_HEADER_SIZE]
+        )
+        grown = (
+            struct.pack(">2sBBI", magic, version, kind, body_len + 3)
+            + blob[CHUNK_HEADER_SIZE:]
+            + b"\0\0\0"
+        )
+        with pytest.raises(ChunkError, match="trailing bytes"):
+            CaptureChunkDecoder().feed(grown)
+
+
+class TestFragmentationEquivalence:
+    """The tentpole property: any byte fragmentation of the columnar
+    stream equals the whole-log text path, for every parse policy."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(data=st.data())
+    def test_random_boundaries_match_text_path(self, detector, data):
+        policy = data.draw(st.sampled_from(["strict", "warn", "drop"]))
+        lines = make_log(SCAN_SPECS)
+        if policy != "strict":
+            # recovery policies must agree on streams that needed them
+            where = data.draw(st.integers(0, len(lines)))
+            lines = lines[:where] + ["@@corrupt@@"] + lines[where:]
+        want_rows, want_report = text_reference(detector, lines, policy)
+
+        client_report = ParseReport()
+        events = parse_fast(lines, policy=policy, report=client_report)
+        chunk_events = data.draw(st.integers(1, 9))
+        blob = encode_blob(events, client_report, chunk_events=chunk_events)
+        cuts = data.draw(
+            st.lists(st.integers(0, len(blob)), max_size=12)
+        )
+        got_rows, scanner = scan_columnar(detector, blob, cuts)
+        assert got_rows == want_rows
+        assert scanner.report.to_dict() == want_report.to_dict()
+
+    def test_single_byte_fragments(self, detector):
+        lines = make_log(SCAN_SPECS[:6])
+        want_rows, want_report = text_reference(detector, lines, "drop")
+        report = ParseReport()
+        events = parse_fast(lines, policy="drop", report=report)
+        blob = encode_blob(events, report, chunk_events=3)
+        got_rows, scanner = scan_columnar(
+            detector, blob, cuts=range(len(blob))
+        )
+        assert got_rows == want_rows
+        assert scanner.report.to_dict() == want_report.to_dict()

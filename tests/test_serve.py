@@ -330,6 +330,122 @@ class TestFaultStreams:
             handle.stop()
 
 
+class TestColumnarWire:
+    """The binary fast path end-to-end: parse client-side once, ship
+    ``FRAME_DATA_COLUMNAR`` chunks, get the text path's exact answer."""
+
+    def test_send_events_matches_text_path(self, detector, registry):
+        from repro.etw.fastparse import parse_fast
+        from repro.etw.recovery import ParseReport
+
+        lines = make_log(SCAN_SPECS)
+        want = rows(detector.scan_stream(lines))
+        text_outcome = None
+        handle = start_in_thread(registry, executor="thread")
+        try:
+            text_outcome = serve_one(handle.address, "as-text", lines)
+            report = ParseReport()
+            events = parse_fast(lines, policy="drop", report=report)
+            client = ServeClient(handle.address)
+            client.hello("as-columnar")
+            client.send_events(events, chunk_events=5)
+            client.send_report(report)
+            outcome = client.finish()
+            assert outcome.error is None
+            assert outcome.detections == want
+            assert outcome.result["events"] == len(SCAN_SPECS)
+            assert (
+                outcome.result["report"] == text_outcome.result["report"]
+            )
+        finally:
+            handle.stop()
+
+    def test_send_capture_matches_text_path(self, detector, registry, tmp_path):
+        from repro.etw.capture import convert_log
+
+        lines = make_log(SCAN_SPECS)
+        src = tmp_path / "host.log"
+        src.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        capture_path = convert_log(src)
+        want = rows(detector.scan_stream(lines, policy="drop"))
+        handle = start_in_thread(registry, executor="thread")
+        try:
+            client = ServeClient(handle.address)
+            client.hello("from-capture")
+            client.send_capture(capture_path, chunk_events=7)
+            outcome = client.finish()
+            assert outcome.error is None
+            assert outcome.detections == want
+            assert outcome.result["report"]["events_yielded"] == len(
+                SCAN_SPECS
+            )
+        finally:
+            handle.stop()
+
+    def test_mode_mixing_rejected(self, registry):
+        from repro.etw.fastparse import parse_fast
+        from repro.serve.columnar import encode_event_stream
+
+        lines = make_log(SCAN_SPECS[:4])
+        chunks = encode_event_stream(parse_fast(lines, policy="drop"))
+        handle = start_in_thread(registry, executor="thread")
+        try:
+            # text first, then a columnar frame: protocol violation
+            client = ServeClient(handle.address)
+            client.hello("mixer-a")
+            client.send_lines(lines[:5])
+            for chunk in chunks:
+                client.send_chunk(chunk)
+            outcome = client.finish()
+            assert outcome.error is not None
+            # columnar first, then text: same violation, other order
+            client = ServeClient(handle.address)
+            client.hello("mixer-b")
+            client.send_chunk(chunks[0])
+            client.send_lines(lines[:5])
+            outcome = client.finish()
+            assert outcome.error is not None
+        finally:
+            handle.stop()
+
+    def test_partial_chunk_at_end_is_an_error(self, registry):
+        from repro.etw.fastparse import parse_fast
+        from repro.serve.columnar import encode_event_stream
+
+        chunk = encode_event_stream(
+            parse_fast(make_log(SCAN_SPECS[:4]), policy="drop")
+        )[0]
+        handle = start_in_thread(registry, executor="thread")
+        try:
+            client = ServeClient(handle.address)
+            client.hello("cut-short")
+            client.send_chunk(chunk[: len(chunk) - 3])
+            outcome = client.finish()
+            assert outcome.error is not None
+            assert outcome.error["kind"] == "ChunkError"
+            assert "incomplete columnar chunk" in outcome.error["error"]
+        finally:
+            handle.stop()
+
+    def test_status_reports_stage_counters(self, registry):
+        lines = make_log(SCAN_SPECS)
+        handle = start_in_thread(registry, executor="thread")
+        try:
+            serve_one(handle.address, "staged", lines)
+            status = request_status(handle.address)
+            stages = status["shards"][0]["stages"]
+            assert stages["events_decoded"] == len(SCAN_SPECS)
+            assert stages["lines_parsed"] == len(lines)
+            assert stages["bytes_in"] > 0
+            assert stages["decode_s"] >= 0.0
+            assert stages["featurize_s"] > 0.0
+            assert stages["score_s"] > 0.0
+            assert stages["flushed_chunks"] >= 1
+            assert status["shards"][0]["mean_flush_wait_s"] >= 0.0
+        finally:
+            handle.stop()
+
+
 class TestBackpressure:
     def test_slow_scoring_pauses_reads_and_drops_nothing(
         self, tmp_path, monkeypatch
