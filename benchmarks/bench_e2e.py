@@ -16,10 +16,13 @@ so the two storage formats are directly comparable.  The one-time
 conversion cost is reported separately (``convert_s``) — it is paid
 once per log, not per scan.
 
-Runs against the cached golden datasets when ``benchmarks/.data/`` is
-present; otherwise generates a deterministic synthetic corpus
-(``benchmarks/synth.py``) so the benchmark works on any fresh clone —
-the JSON records which source was used.
+Runs against the cached golden datasets when ``benchmarks/.data/``
+holds any; otherwise generates a deterministic synthetic corpus via
+the fast generation path and caches it under
+``benchmarks/.data/<dataset>-s<seed>-gen<train>x<scan>/`` so repeated
+runs skip regeneration — the JSON records which source was used.
+Generated cache directories carry the ``-gen`` marker and are never
+mistaken for golden datasets (here or by the test-suite guards).
 
 Usage (from the repo root):
 
@@ -50,6 +53,7 @@ sys.path.insert(0, str(REPO_ROOT))
 from repro.core.config import LeapsConfig
 from repro.core.detector import LeapsDetector
 from repro.etw.capture import (
+    captures_byte_identical,
     convert_log,
     load_capture,
     write_capture,
@@ -58,7 +62,7 @@ from repro.etw.capture import (
 from repro.etw.fastparse import parse_fast
 from repro.etw.parser import read_log_lines
 
-from repro.datasets.generation import generate_dataset
+from repro.datasets.generation import DEFAULT_TRAIN_EVENTS, generate_dataset
 
 DATA_DIR = REPO_ROOT / "benchmarks" / ".data"
 
@@ -72,27 +76,21 @@ DEFAULT_DATASETS = (
 )
 
 
-def _captures_byte_identical(a: Path, b: Path) -> bool:
-    """Member-level byte comparison of two ``.leapscap`` directories
-    (the npz zip container embeds timestamps, so whole-file bytes are
-    not stable; every stored member and the JSON metadata must be)."""
-    import zipfile
+def is_generated_cache(name: str) -> bool:
+    """Whether a ``benchmarks/.data`` entry is a generated-corpus cache
+    (``<dataset>-s<seed>-gen...``) rather than a golden dataset."""
+    return "-gen" in name
 
-    names = sorted(p.name for p in a.iterdir())
-    if names != sorted(p.name for p in b.iterdir()):
+
+def has_golden_data() -> bool:
+    """Whether ``benchmarks/.data`` holds at least one golden dataset
+    (generated ``-gen`` caches do not count)."""
+    if not DATA_DIR.is_dir():
         return False
-    for name in names:
-        if name.endswith(".npz"):
-            with zipfile.ZipFile(a / name) as za, \
-                    zipfile.ZipFile(b / name) as zb:
-                if za.namelist() != zb.namelist():
-                    return False
-                for member in za.namelist():
-                    if za.read(member) != zb.read(member):
-                        return False
-        elif (a / name).read_bytes() != (b / name).read_bytes():
-            return False
-    return True
+    return any(
+        entry.is_dir() and not is_generated_cache(entry.name)
+        for entry in DATA_DIR.iterdir()
+    )
 
 
 def best_of(repeats: int, fn) -> float:
@@ -103,7 +101,11 @@ def best_of(repeats: int, fn) -> float:
 
 
 def resolve_golden(name: str, seed: int) -> dict:
-    matches = sorted(DATA_DIR.glob(f"{name}-s{seed}-*"))
+    matches = sorted(
+        match
+        for match in DATA_DIR.glob(f"{name}-s{seed}-*")
+        if not is_generated_cache(match.name)
+    )
     for match in matches:
         paths = {
             "benign": match / "benign.log",
@@ -115,6 +117,35 @@ def resolve_golden(name: str, seed: int) -> dict:
     raise FileNotFoundError(
         f"no complete cached dataset for {name!r} seed {seed} under {DATA_DIR}"
     )
+
+
+def cached_generated_dataset(
+    name: str, seed: int, train_events: int, scan_events: int
+) -> dict:
+    """Generate (or reuse) a cached synthetic corpus under
+    ``benchmarks/.data/<name>-s<seed>-gen<train>x<scan>/``.
+
+    Generation is deterministic, so a complete cache is always valid;
+    an incomplete one (interrupted run) is regenerated from scratch.
+    """
+    cache = DATA_DIR / f"{name}-s{seed}-gen{train_events}x{scan_events}"
+    expected = ("benign.log", "mixed.log", "malicious.log", "labels.json")
+    if not all((cache / entry).is_file() for entry in expected):
+        import shutil
+
+        shutil.rmtree(cache, ignore_errors=True)
+        generate_dataset(
+            name,
+            cache,
+            seed,
+            train_events=train_events,
+            scan_events=scan_events,
+        )
+    return {
+        "benign": cache / "benign.log",
+        "mixed": cache / "mixed.log",
+        "scan": cache / "malicious.log",
+    }
 
 
 def bench_corpus(
@@ -165,7 +196,7 @@ def bench_corpus(
         write_vec_s = best_of(
             repeats, lambda: write_capture(vec_dir, col_events)
         )
-        writer_identical = _captures_byte_identical(naive_dir, vec_dir)
+        writer_identical = captures_byte_identical(naive_dir, vec_dir)
         if not writer_identical:
             raise AssertionError(
                 f"{name}: vectorized writer output diverged from naive"
@@ -253,6 +284,10 @@ def main(argv=None) -> int:
              "with --quick)",
     )
     parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="multiply synthetic corpus sizes (train and scan events)",
+    )
+    parser.add_argument(
         "--repeats", type=int, default=3,
         help="timing repeats; each timing keeps the best run",
     )
@@ -270,58 +305,48 @@ def main(argv=None) -> int:
     scan_events = args.scan_events or (20000 if args.quick else 150000)
 
     results = []
-    with tempfile.TemporaryDirectory() as scratch:
-        if DATA_DIR.is_dir():
-            names = [d.strip() for d in args.datasets.split(",") if d.strip()]
-            if args.quick:
-                names = names[:1]
-            corpora = [
-                (name, resolve_golden(name, args.seed), "golden")
-                for name in names
-            ]
-        else:
-            # Generate a real Table-I scenario (repro.datasets) instead
-            # of the retired ad-hoc corpus — same pipeline shape as the
-            # golden captures, deterministic on any fresh clone.
-            fallback = "vim_reverse_tcp"
-            print(
-                "golden cache missing; generating deterministic "
-                f"synthetic dataset {fallback!r}",
-                flush=True,
-            )
-            dataset = generate_dataset(
-                fallback,
-                Path(scratch) / fallback,
-                args.seed,
-                scan_events=scan_events,
-            )
-            corpora = [
-                (
-                    f"{fallback}-s{args.seed}",
-                    {
-                        "benign": dataset.logs["benign.log"].path,
-                        "mixed": dataset.logs["mixed.log"].path,
-                        "scan": dataset.logs["malicious.log"].path,
-                    },
-                    "synthetic",
-                )
-            ]
-        for name, paths, source in corpora:
-            print(f"benchmarking {name} ({source}) ...", flush=True)
-            result = bench_corpus(name, paths, source, config, repeats)
-            ingest, e2e = result["ingest"], result["e2e"]
-            writer = result["writer"]
-            print(
-                f"  ingest: {ingest['text_lines_per_s']:,.0f} → "
-                f"{ingest['capture_lines_per_s']:,.0f} l/s "
-                f"({ingest['speedup']:.1f}x)   e2e: "
-                f"{e2e['text_lines_per_s']:,.0f} → "
-                f"{e2e['capture_lines_per_s']:,.0f} l/s "
-                f"({e2e['speedup']:.1f}x)   writer: "
-                f"{writer['speedup']:.1f}x",
-                flush=True,
-            )
-            results.append(result)
+    if has_golden_data():
+        names = [d.strip() for d in args.datasets.split(",") if d.strip()]
+        if args.quick:
+            names = names[:1]
+        corpora = [
+            (name, resolve_golden(name, args.seed), "golden")
+            for name in names
+        ]
+    else:
+        # Generate a real Table-I scenario (repro.datasets) instead
+        # of the retired ad-hoc corpus — same pipeline shape as the
+        # golden captures, deterministic on any fresh clone, cached
+        # under benchmarks/.data/ so reruns skip regeneration.
+        fallback = "vim_reverse_tcp"
+        train_events = int(round(DEFAULT_TRAIN_EVENTS * args.scale))
+        synth_scan_events = int(round(scan_events * args.scale))
+        print(
+            "golden cache missing; using cached deterministic "
+            f"synthetic dataset {fallback!r} "
+            f"({train_events}x{synth_scan_events})",
+            flush=True,
+        )
+        paths = cached_generated_dataset(
+            fallback, args.seed, train_events, synth_scan_events
+        )
+        corpora = [(f"{fallback}-s{args.seed}", paths, "synthetic")]
+    for name, paths, source in corpora:
+        print(f"benchmarking {name} ({source}) ...", flush=True)
+        result = bench_corpus(name, paths, source, config, repeats)
+        ingest, e2e = result["ingest"], result["e2e"]
+        writer = result["writer"]
+        print(
+            f"  ingest: {ingest['text_lines_per_s']:,.0f} → "
+            f"{ingest['capture_lines_per_s']:,.0f} l/s "
+            f"({ingest['speedup']:.1f}x)   e2e: "
+            f"{e2e['text_lines_per_s']:,.0f} → "
+            f"{e2e['capture_lines_per_s']:,.0f} l/s "
+            f"({e2e['speedup']:.1f}x)   writer: "
+            f"{writer['speedup']:.1f}x",
+            flush=True,
+        )
+        results.append(result)
 
     ingest_speedups = [r["ingest"]["speedup"] for r in results]
     e2e_speedups = [r["e2e"]["speedup"] for r in results]

@@ -11,12 +11,19 @@ from repro.datasets.catalog import (
     ONLINE_DATASETS,
     DatasetSpec,
 )
+from repro.datasets.fastgen import (
+    SessionSynth,
+    segment_bounds,
+    stream_words,
+)
 from repro.datasets.generation import (
     DEFAULT_SCAN_EVENTS,
     DEFAULT_TRAIN_EVENTS,
+    ENGINES,
     LABELS_SCHEMA,
     MALICIOUS_ATTACK_RATE,
     MIXED_ATTACK_RATE,
+    OUTPUT_FORMATS,
     GeneratedDataset,
     GeneratedLog,
     ScenarioGenerator,
@@ -29,6 +36,7 @@ __all__ = [
     "DEFAULT_SCAN_EVENTS",
     "DEFAULT_TRAIN_EVENTS",
     "DatasetSpec",
+    "ENGINES",
     "GeneratedDataset",
     "GeneratedLog",
     "LABELS_SCHEMA",
@@ -36,7 +44,11 @@ __all__ = [
     "MIXED_ATTACK_RATE",
     "OFFLINE_DATASETS",
     "ONLINE_DATASETS",
+    "OUTPUT_FORMATS",
     "ScenarioGenerator",
+    "SessionSynth",
     "generate_catalog",
     "generate_dataset",
+    "segment_bounds",
+    "stream_words",
 ]

@@ -23,6 +23,8 @@ from repro.datasets.catalog import CATALOG
 from repro.datasets.generation import (
     DEFAULT_SCAN_EVENTS,
     DEFAULT_TRAIN_EVENTS,
+    ENGINES,
+    OUTPUT_FORMATS,
     generate_catalog,
 )
 
@@ -47,6 +49,18 @@ def main(argv=None) -> int:
                         default=DEFAULT_TRAIN_EVENTS)
     parser.add_argument("--scan-events", type=int,
                         default=DEFAULT_SCAN_EVENTS)
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="multiply --train-events/--scan-events "
+                             "(paper scale × N)")
+    parser.add_argument("--format", choices=OUTPUT_FORMATS, default="text",
+                        help="outputs per log: text .log, columnar "
+                             ".leapscap capture, or both (default: text)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="generate datasets across N processes "
+                             "(default: 1)")
+    parser.add_argument("--engine", choices=ENGINES, default="fast",
+                        help="generation engine (naive = the per-event "
+                             "oracle; byte-identical output)")
     parser.add_argument("--only", nargs="*", default=[], metavar="NAME",
                         help=f"dataset names (choices: {', '.join(CATALOG)})")
     parser.add_argument("--selfcheck", action="store_true",
@@ -68,10 +82,15 @@ def main(argv=None) -> int:
     if args.out is None and not args.selfcheck:
         parser.error("--out is required unless --selfcheck")
 
+    if args.scale <= 0:
+        parser.error("--scale must be positive")
     params = dict(
         names=args.only,
-        train_events=args.train_events,
-        scan_events=args.scan_events,
+        train_events=int(round(args.train_events * args.scale)),
+        scan_events=int(round(args.scan_events * args.scale)),
+        format=args.format,
+        engine=args.engine,
+        n_jobs=args.jobs,
     )
 
     if args.selfcheck:

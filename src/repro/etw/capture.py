@@ -151,6 +151,63 @@ def _split_vocab(raw: object, name: str) -> List[str]:
     return entries
 
 
+def _finalize_capture(
+    path: Path,
+    arrays: dict,
+    vocabs: dict,
+    counts: dict,
+    report: Optional[ParseReport],
+    source: Optional[dict],
+) -> Path:
+    """Shared write tail: vocab joins, metadata document, and the two
+    on-disk members.  Every writer funnels through here, so metadata
+    bytes cannot drift between the naive, vectorized, and columnar
+    entry points."""
+    for name, strings in vocabs.items():
+        arrays[f"vocab_{name}"] = _join_vocab(name, strings)
+    meta = {
+        "schema": SCHEMA,
+        "counts": {
+            **counts,
+            **{
+                f"vocab_{name}": len(strings)
+                for name, strings in vocabs.items()
+            },
+        },
+        "source": source,
+        "parse_report": None if report is None else report.to_dict(),
+    }
+    path.mkdir(parents=True, exist_ok=True)
+    (path / JSON_NAME).write_text(json.dumps(meta, indent=2) + "\n")
+    np.savez(path / NPZ_NAME, **arrays)
+    return path
+
+
+def captures_byte_identical(
+    a: Union[str, os.PathLike], b: Union[str, os.PathLike]
+) -> bool:
+    """Whether two captures hold identical bytes, member by member.
+
+    ``arrays.npz`` is a zip whose entry *timestamps* vary run to run,
+    so whole-file comparison spuriously fails; metadata and every array
+    member are compared instead (the equality that actually matters).
+    """
+    import zipfile
+
+    a, b = Path(os.fspath(a)), Path(os.fspath(b))
+    if (a / JSON_NAME).read_bytes() != (b / JSON_NAME).read_bytes():
+        return False
+    with zipfile.ZipFile(a / NPZ_NAME) as zip_a, zipfile.ZipFile(
+        b / NPZ_NAME
+    ) as zip_b:
+        if zip_a.namelist() != zip_b.namelist():
+            return False
+        return all(
+            zip_a.read(name) == zip_b.read(name)
+            for name in zip_a.namelist()
+        )
+
+
 def write_capture_naive(
     path: Union[str, os.PathLike],
     events: Sequence[EventRecord],
@@ -246,25 +303,19 @@ def write_capture_naive(
         "walk_frame_ids": np.array(walk_frame_ids, dtype=np.int64),
         "walk_offsets": np.array(walk_offsets, dtype=np.int64),
     }
-    for name, table in vocabs.items():
-        arrays[f"vocab_{name}"] = _join_vocab(name, list(table))
-
-    meta = {
-        "schema": SCHEMA,
-        "counts": {
-            "events": len(eid),
-            "frames": len(frame_rows),
-            "walks": len(walk_offsets) - 1,
-            **{f"vocab_{name}": len(table) for name, table in vocabs.items()},
-        },
-        "source": source,
-        "parse_report": None if report is None else report.to_dict(),
+    counts = {
+        "events": len(eid),
+        "frames": len(frame_rows),
+        "walks": len(walk_offsets) - 1,
     }
-
-    path.mkdir(parents=True, exist_ok=True)
-    (path / JSON_NAME).write_text(json.dumps(meta, indent=2) + "\n")
-    np.savez(path / NPZ_NAME, **arrays)
-    return path
+    return _finalize_capture(
+        path,
+        arrays,
+        {name: list(table) for name, table in vocabs.items()},
+        counts,
+        report,
+        source,
+    )
 
 
 # -- vectorized writer -------------------------------------------------
@@ -463,24 +514,27 @@ def write_capture(
         arrays, vocabs, counts = _arrays_from_columns(cols)
     else:
         arrays, vocabs, counts = _arrays_from_events(events)
-    for name, strings in vocabs.items():
-        arrays[f"vocab_{name}"] = _join_vocab(name, strings)
-    meta = {
-        "schema": SCHEMA,
-        "counts": {
-            **counts,
-            **{
-                f"vocab_{name}": len(strings)
-                for name, strings in vocabs.items()
-            },
-        },
-        "source": source,
-        "parse_report": None if report is None else report.to_dict(),
-    }
-    path.mkdir(parents=True, exist_ok=True)
-    (path / JSON_NAME).write_text(json.dumps(meta, indent=2) + "\n")
-    np.savez(path / NPZ_NAME, **arrays)
-    return path
+    return _finalize_capture(path, arrays, vocabs, counts, report, source)
+
+
+def write_capture_columns(
+    path: Union[str, os.PathLike],
+    cols,
+    *,
+    report: Optional[ParseReport] = None,
+    source: Optional[dict] = None,
+) -> Path:
+    """Serialize an :class:`~repro.etw.events.EventColumns` directly.
+
+    The generation fast path's sink: column blocks go straight to the
+    capture arrays without ever materializing an ``EventRecord`` (or a
+    line of text).  Byte-identical to :func:`write_capture_naive` over
+    the equivalent event list — ``tests/test_fastgen.py`` holds both
+    writers to it.
+    """
+    path = Path(os.fspath(path))
+    arrays, vocabs, counts = _arrays_from_columns(cols)
+    return _finalize_capture(path, arrays, vocabs, counts, report, source)
 
 
 def convert_log(

@@ -30,9 +30,32 @@ def dataset_path(name: str) -> Path:
     return DATA_DIR / name
 
 
+def is_generated_cache(name: str) -> bool:
+    """Whether a ``benchmarks/.data`` entry is a benchmark-generated
+    corpus cache (``<dataset>-s<seed>-gen...``, written by bench
+    harnesses) rather than a golden dataset."""
+    return "-gen" in name
+
+
+def golden_dataset_dirs() -> "list[Path]":
+    """Golden dataset directories under ``benchmarks/.data`` —
+    generated ``-gen`` caches excluded, so a bench run that populated
+    its corpus cache cannot masquerade as the golden cache."""
+    if not DATA_DIR.is_dir():
+        return []
+    return sorted(
+        entry
+        for entry in DATA_DIR.iterdir()
+        if entry.is_dir() and not is_generated_cache(entry.name)
+    )
+
+
+HAS_GOLDEN_DATA = bool(golden_dataset_dirs())
+
+
 @pytest.fixture(scope="session")
 def data_dir() -> Path:
-    if not DATA_DIR.is_dir():
+    if not golden_dataset_dirs():
         pytest.skip("golden dataset cache missing (benchmarks/.data/ is "
                     "populated by the dataset generator, not tracked in git)")
     return DATA_DIR

@@ -34,7 +34,7 @@ from repro.etw.parser import (
 )
 from repro.etw.recovery import ParseReport
 
-from tests.conftest import DATA_DIR, TINY_LOG
+from tests.conftest import HAS_GOLDEN_DATA, TINY_LOG
 from tests.faults import fault_corpus
 
 
@@ -118,7 +118,7 @@ class TestRoundTrip:
         assert isinstance(capture, Capture)
 
 
-@pytest.mark.skipif(not DATA_DIR.is_dir(), reason="golden cache missing")
+@pytest.mark.skipif(not HAS_GOLDEN_DATA, reason="golden cache missing")
 class TestGoldenRoundTrip:
     def test_every_golden_head_round_trips(self, tmp_path):
         from tests.test_golden_logs import ALL_LOGS, read_header
@@ -304,7 +304,7 @@ class TestWriterEquivalence:
                 writer(tmp_path / "x.leapscap", [huge])
 
 
-    @pytest.mark.skipif(not DATA_DIR.is_dir(), reason="golden cache missing")
+    @pytest.mark.skipif(not HAS_GOLDEN_DATA, reason="golden cache missing")
     def test_golden_heads(self, tmp_path):
         from repro.etw.fastparse import parse_fast
 

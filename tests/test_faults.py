@@ -10,7 +10,7 @@ import pytest
 
 from repro.etw.parser import ParseError, iter_parse, parse_with_report
 
-from tests.conftest import DATA_DIR
+from tests.conftest import DATA_DIR, HAS_GOLDEN_DATA, is_generated_cache
 from tests.faults import (
     MUTATORS,
     fault_corpus,
@@ -19,7 +19,7 @@ from tests.faults import (
 )
 
 pytestmark = pytest.mark.skipif(
-    not DATA_DIR.is_dir(), reason="golden dataset cache missing"
+    not HAS_GOLDEN_DATA, reason="golden dataset cache missing"
 )
 
 #: One log per shape: benign (regular), mixed (injected payload frames),
@@ -119,7 +119,11 @@ class TestRecoveryContract:
 @pytest.mark.slow
 @pytest.mark.parametrize(
     "relpath",
-    sorted(str(p.relative_to(DATA_DIR)) for p in DATA_DIR.glob("*/*.log"))
+    sorted(
+        str(p.relative_to(DATA_DIR))
+        for p in DATA_DIR.glob("*/*.log")
+        if not is_generated_cache(p.parent.name)
+    )
     if DATA_DIR.is_dir()
     else [],
 )

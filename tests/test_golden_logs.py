@@ -11,21 +11,30 @@ import pytest
 from repro.etw.parser import RawLogParser, serialize_events
 from repro.etw.stack_partition import is_partition_clean
 
-from tests.conftest import DATA_DIR
+from tests.conftest import (
+    DATA_DIR,
+    HAS_GOLDEN_DATA,
+    golden_dataset_dirs,
+    is_generated_cache,
+)
 
 pytestmark = pytest.mark.skipif(
-    not DATA_DIR.is_dir(), reason="golden dataset cache missing"
+    not HAS_GOLDEN_DATA, reason="golden dataset cache missing"
 )
 
 HEADER_LINES = 600
 
-ALL_DATASETS = sorted(
-    p.name for p in DATA_DIR.iterdir() if p.is_dir()
-) if DATA_DIR.is_dir() else []
+ALL_DATASETS = [p.name for p in golden_dataset_dirs()]
 BENIGN_LOGS = sorted(
-    str(p.relative_to(DATA_DIR)) for p in DATA_DIR.glob("*/benign.log")
+    str(p.relative_to(DATA_DIR))
+    for p in DATA_DIR.glob("*/benign.log")
+    if not is_generated_cache(p.parent.name)
 )
-ALL_LOGS = sorted(str(p.relative_to(DATA_DIR)) for p in DATA_DIR.glob("*/*.log"))
+ALL_LOGS = sorted(
+    str(p.relative_to(DATA_DIR))
+    for p in DATA_DIR.glob("*/*.log")
+    if not is_generated_cache(p.parent.name)
+)
 
 
 def read_header(relpath, limit=HEADER_LINES):

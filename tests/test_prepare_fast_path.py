@@ -14,7 +14,7 @@ from repro.core.weights import WeightAssessor
 from repro.etw.parser import RawLogParser, serialize_events
 from repro.etw.stack_partition import StackPartitioner
 
-from tests.conftest import DATA_DIR
+from tests.conftest import golden_dataset_dirs
 
 #: Events kept per log head — enough to cover the payload region of the
 #: mixed logs while keeping the sweep fast.
@@ -24,10 +24,8 @@ HEAD_EVENTS = 400
 def golden_mixed_heads():
     """(dataset name, benign head, mixed head) for every golden dataset
     that has both training logs."""
-    if not DATA_DIR.is_dir():
-        return []
     pairs = []
-    for directory in sorted(DATA_DIR.iterdir()):
+    for directory in golden_dataset_dirs():
         benign, mixed = directory / "benign.log", directory / "mixed.log"
         if benign.is_file() and mixed.is_file():
             pairs.append((directory.name, benign, mixed))

@@ -150,10 +150,13 @@ class TestGoldenEquivalence:
         return detector
 
     def complete_datasets(self, data_dir):
+        from tests.conftest import is_generated_cache
+
         return sorted(
             p.parent
             for p in data_dir.glob("*/benign.log")
-            if (p.parent / "mixed.log").exists()
+            if not is_generated_cache(p.parent.name)
+            and (p.parent / "mixed.log").exists()
             and (p.parent / "malicious.log").exists()
         )
 
